@@ -1,0 +1,116 @@
+// Command laminar-asm assembles, disassembles and runs MiniJVM text
+// programs — the compiler engineer's workbench for the barrier-inserting
+// JIT.
+//
+//	laminar-asm run prog.mjvm -entry main -args 5,7 -mode static -opt
+//	laminar-asm dis prog.mjvm               # source disassembly
+//	laminar-asm dis prog.mjvm -compiled     # compiled form with barriers
+//
+// The text format is documented in internal/jvm/parse.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"laminar/internal/jvm"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet("laminar-asm", flag.ExitOnError)
+	var (
+		mode     = fs.String("mode", "static", "barrier mode: none, static, dynamic")
+		optimize = fs.Bool("opt", false, "redundant-barrier elimination")
+		inline   = fs.Bool("inline", false, "inline small leaf methods")
+		entry    = fs.String("entry", "main", "entry method")
+		argList  = fs.String("args", "", "comma-separated integer arguments")
+		budget   = fs.Uint64("budget", 10_000_000, "instruction budget (0 = unlimited)")
+		compiled = fs.Bool("compiled", false, "dis: show the compiled form")
+		stats    = fs.Bool("stats", false, "run: print machine statistics")
+	)
+	fs.Parse(os.Args[3:])
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := jvm.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opts := jvm.CompileOptions{Optimize: *optimize, Inline: *inline}
+	switch *mode {
+	case "none":
+		opts.Mode = jvm.BarrierNone
+	case "static":
+		opts.Mode = jvm.BarrierStatic
+	case "dynamic":
+		opts.Mode = jvm.BarrierDynamic
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	switch cmd {
+	case "run":
+		mc, err := jvm.NewMachine(prog, opts)
+		if err != nil {
+			fatal(err)
+		}
+		mc.MaxInstructions = *budget
+		var args []jvm.Value
+		if *argList != "" {
+			for _, s := range strings.Split(*argList, ",") {
+				n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad argument %q", s))
+				}
+				args = append(args, jvm.IntV(n))
+			}
+		}
+		v, err := mc.Call(mc.NewThread(), *entry, args...)
+		if err != nil {
+			fatal(err)
+		}
+		if v.IsRef() {
+			fmt.Println("(object)")
+		} else {
+			fmt.Println(v.Int())
+		}
+		if *stats {
+			st := mc.Stats()
+			fmt.Fprintf(os.Stderr, "instructions=%d barrier-checks=%d context-checks=%d regions=%d violations=%d\n",
+				st.Instructions, st.BarrierChecks, st.ContextChecks, st.RegionsEntered, st.Violations)
+			rep := mc.CompileReport()
+			fmt.Fprintf(os.Stderr, "compiled methods=%d instrs=%d barriers=%d elided=%d inlined=%d\n",
+				rep.Methods, rep.InstrsOut, rep.BarriersEmitted, rep.BarriersElided, rep.InlinedCalls)
+		}
+	case "dis":
+		if !*compiled {
+			fmt.Print(prog.Dump())
+			return
+		}
+		if _, err := prog.CompileAll(opts); err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.Dump())
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: laminar-asm run|dis <file.mjvm> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laminar-asm:", err)
+	os.Exit(1)
+}

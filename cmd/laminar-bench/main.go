@@ -1,0 +1,123 @@
+// Command laminar-bench regenerates every table and figure from the
+// Laminar paper's evaluation (§6–§7) against this repository's
+// implementation, printing paper-style text tables.
+//
+// Usage:
+//
+//	laminar-bench -all                # everything, default scale
+//	laminar-bench -table 2            # lmbench (Table 2)
+//	laminar-bench -figure jvm         # DaCapo barrier overheads
+//	laminar-bench -figure apps        # case-study overheads (Figure 9 + Table 3)
+//	laminar-bench -figure compile     # compilation-time experiment
+//	laminar-bench -table 1|4          # taxonomy probes / GradeSheet sets
+//	laminar-bench -flume              # monitor-vs-LSM IPC comparison
+//	laminar-bench -ablations          # design-decision ablations
+//	laminar-bench -scale 10           # heavier workloads (closer to paper scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"laminar/internal/eval"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		table     = flag.Int("table", 0, "reproduce a numbered table (1, 2, 4)")
+		figure    = flag.String("figure", "", "reproduce a figure: jvm, apps, compile, regions")
+		flume     = flag.Bool("flume", false, "monitor-vs-LSM IPC comparison")
+		ablations = flag.Bool("ablations", false, "design-decision ablations")
+		scale     = flag.Int("scale", 1, "workload scale factor (apps)")
+		iters     = flag.Int("iters", 300, "JVM workload loop iterations")
+		trials    = flag.Int("trials", 5, "trials per measurement (median/min)")
+		optimize  = flag.Bool("opt", false, "enable redundant-barrier elimination in the jvm figure")
+	)
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "laminar-bench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		ran = true
+		rep, err := eval.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if *all || *table == 2 {
+		ran = true
+		rep, err := eval.Table2(2000, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if *all || *table == 4 {
+		ran = true
+		fmt.Println(eval.Table4(16, 8).Format())
+	}
+	if *all || *figure == "jvm" {
+		ran = true
+		rep, err := eval.JVMOverhead(*iters, *trials, *optimize)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if *all || *figure == "regions" {
+		ran = true
+		rep, err := eval.RegionDensity(*iters, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if *all || *figure == "compile" {
+		ran = true
+		rep, err := eval.CompileTime(*trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if *all || *figure == "apps" || *table == 3 {
+		ran = true
+		rep, err := eval.Apps(*scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if *all || *flume {
+		ran = true
+		rep, err := eval.FlumeCompare(20000)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		wrep, err := eval.WikiCompare(3000)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(wrep.Format())
+	}
+	if *all || *ablations {
+		ran = true
+		rep, err := eval.Ablations(2000, 50)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

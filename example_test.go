@@ -1,0 +1,69 @@
+package laminar_test
+
+import (
+	"fmt"
+	"log"
+
+	"laminar"
+)
+
+// Example demonstrates the core loop: boot, label, access inside a
+// security region, and a blocked leak.
+func Example() {
+	sys := laminar.NewSystem()
+	alice, err := sys.Login("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, th, err := sys.LaunchVM(alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tag, err := th.CreateTag()
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := laminar.Labels{S: laminar.NewLabel(tag)}
+
+	var diary *laminar.Object
+	th.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {
+		diary = r.Alloc(nil)
+		r.Set(diary, "entry", "classified")
+		fmt.Println("inside:", r.Get(diary, "entry"))
+	}, nil)
+
+	public := laminar.NewObject()
+	th.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {
+		r.Set(public, "post", r.Get(diary, "entry"))
+	}, func(r *laminar.Region, e any) {
+		fmt.Println("leak blocked")
+	})
+	fmt.Println("public post:", public.RawGet("post"))
+	// Output:
+	// inside: classified
+	// leak blocked
+	// public post: <nil>
+}
+
+// ExampleRegion_CopyAndLabel shows explicit declassification with the
+// minus capability.
+func ExampleRegion_CopyAndLabel() {
+	sys := laminar.NewSystem()
+	shell, _ := sys.Login("owner")
+	_, th, _ := sys.LaunchVM(shell)
+	tag, _ := th.CreateTag()
+	secret := laminar.Labels{S: laminar.NewLabel(tag)}
+	minus := laminar.NewCapSet(laminar.EmptyLabel, laminar.NewLabel(tag))
+
+	out := laminar.NewObject()
+	th.Secure(secret, minus, func(r *laminar.Region) {
+		o := r.Alloc(nil)
+		r.Set(o, "v", 42)
+		th.Secure(laminar.Labels{}, minus, func(r2 *laminar.Region) {
+			pub := r2.CopyAndLabel(o, laminar.Labels{})
+			out.RawSet("v", r2.Get(pub, "v"))
+		}, nil)
+	}, nil)
+	fmt.Println(out.RawGet("v"))
+	// Output: 42
+}

@@ -1,0 +1,36 @@
+// Battleship (§7.2): each player's board is labeled with a private tag;
+// the only information that ever leaves a board is the declassified
+// hit/miss bit per shot.
+//
+//	go run ./examples/battleship
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laminar"
+	"laminar/internal/apps/battleship"
+)
+
+func main() {
+	g, err := battleship.NewGame(laminar.NewSystem(), 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s vs %s on a %dx%d grid\n",
+		g.A.Name(), g.B.Name(), battleship.GridSize, battleship.GridSize)
+
+	// Neither player can inspect the other's board.
+	if g.A.TryPeek(g.B.Thread()) || g.B.TryPeek(g.A.Thread()) {
+		log.Fatal("a player peeked at the opponent's board!")
+	}
+	fmt.Println("peeking at the opponent's board: blocked")
+
+	winner, err := g.Play()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s wins with %d ship cells still afloat\n",
+		winner.Name(), winner.ShipCellsLeft())
+}

@@ -1,0 +1,61 @@
+// FreeCS-style chat (§7.4): roles map to integrity tags, so the /ban
+// policy lives in the ban list's label rather than in scattered if..then
+// checks.
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laminar"
+	"laminar/internal/apps/freecs"
+)
+
+func main() {
+	s, err := freecs.NewServer(laminar.NewSystem())
+	if err != nil {
+		log.Fatal(err)
+	}
+	admin, err := s.Login("admin", freecs.RoleSuperuser, "lobby")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vip, err := s.Login("vip", freecs.RoleVIP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	troll, err := s.Login("troll", freecs.RoleGuest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(s.Say(troll, "lobby", "first!"))
+	must(s.Say(vip, "lobby", "welcome everyone"))
+
+	// The VIP tries to ban the troll: denied — a ban needs both the VIP
+	// and the group-superuser integrity tags.
+	if err := s.Ban(vip, "lobby", "troll"); err != nil {
+		fmt.Println("vip banning troll:", err)
+	}
+	// The admin (VIP + superuser of lobby) can.
+	must(s.Ban(admin, "lobby", "troll"))
+	fmt.Println("admin banned troll")
+
+	if err := s.Say(troll, "lobby", "still here?"); err != nil {
+		fmt.Println("troll speaking after ban:", err)
+	}
+	must(s.SetTheme(admin, "lobby", "civil discourse"))
+	theme, err := s.Theme(vip, "lobby")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lobby theme:", theme)
+	fmt.Println("messages in lobby:", s.Messages("lobby"))
+}

@@ -1,0 +1,196 @@
+package freecs
+
+import (
+	"fmt"
+	"strings"
+
+	"laminar"
+	"laminar/internal/kernel"
+)
+
+// Socket transport. The original FreeCS speaks a line protocol over TCP;
+// here clients are separate kernel tasks connected through the simulated
+// kernel's label-checked sockets, so the command bytes themselves travel
+// under DIFC enforcement. The protocol:
+//
+//	LOGIN <name> <guest|vip|super> [group]
+//	SAY <group> <text...>
+//	BAN <group> <target>
+//	INVITE <group> <user>
+//	THEME <group> [text...]
+//	QUIT
+//
+// Replies are "OK [data]" or "ERR <reason>". Everything is nonblocking —
+// the simulated kernel never blocks a task — so the server runs as a pump
+// the caller drives (Pump processes all pending work).
+
+// Listener is the socket front end of a Server.
+type Listener struct {
+	srv  *Server
+	name string
+	k    *kernel.Kernel
+
+	conns []*conn
+}
+
+type conn struct {
+	fd     kernel.FD
+	user   *ChatUser
+	closed bool
+}
+
+// ListenAndServe registers the socket listener for the chat server.
+func (s *Server) ListenAndServe(name string) (*Listener, error) {
+	k := s.sys.Kernel()
+	if err := k.Listen(s.main.Task(), name); err != nil {
+		return nil, err
+	}
+	return &Listener{srv: s, name: name, k: k}, nil
+}
+
+// Pump accepts pending connections and processes one command per
+// connection; it reports how many commands it executed. Call in a loop
+// until it returns 0 to drain.
+func (l *Listener) Pump() int {
+	// Accept everything waiting.
+	for {
+		fd, err := l.k.Accept(l.srv.main.Task(), l.name)
+		if err != nil {
+			break
+		}
+		l.conns = append(l.conns, &conn{fd: fd})
+	}
+	executed := 0
+	for _, c := range l.conns {
+		if c.closed {
+			continue
+		}
+		buf := make([]byte, 1024)
+		n, err := l.k.Recv(l.srv.main.Task(), c.fd, buf)
+		if err != nil || n == 0 {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(buf[:n])), "\n") {
+			reply := l.dispatch(c, line)
+			l.k.Send(l.srv.main.Task(), c.fd, []byte(reply+"\n"))
+			executed++
+		}
+	}
+	return executed
+}
+
+// dispatch executes one protocol line for a connection.
+func (l *Listener) dispatch(c *conn, line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	cmd := strings.ToUpper(fields[0])
+	if cmd == "LOGIN" {
+		if c.user != nil {
+			return "ERR already logged in"
+		}
+		if len(fields) < 3 {
+			return "ERR LOGIN <name> <role> [group]"
+		}
+		role, ok := map[string]Role{"guest": RoleGuest, "vip": RoleVIP, "super": RoleSuperuser}[fields[2]]
+		if !ok {
+			return "ERR unknown role"
+		}
+		var groups []string
+		if role == RoleSuperuser {
+			groups = fields[3:]
+		}
+		u, err := l.srv.Login(fields[1], role, groups...)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		c.user = u
+		return "OK"
+	}
+	if c.user == nil {
+		return "ERR login first"
+	}
+	switch cmd {
+	case "SAY":
+		if len(fields) < 3 {
+			return "ERR SAY <group> <text>"
+		}
+		if err := l.srv.Say(c.user, fields[1], strings.Join(fields[2:], " ")); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "BAN":
+		if len(fields) != 3 {
+			return "ERR BAN <group> <target>"
+		}
+		if err := l.srv.Ban(c.user, fields[1], fields[2]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "INVITE":
+		if len(fields) != 3 {
+			return "ERR INVITE <group> <user>"
+		}
+		if err := l.srv.Invite(c.user, fields[1], fields[2]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "THEME":
+		if len(fields) == 2 {
+			theme, err := l.srv.Theme(c.user, fields[1])
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK " + theme
+		}
+		if err := l.srv.SetTheme(c.user, fields[1], strings.Join(fields[2:], " ")); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "QUIT":
+		l.srv.Logout(c.user)
+		c.user = nil
+		c.closed = true
+		return "OK bye"
+	default:
+		return fmt.Sprintf("ERR unknown command %q", cmd)
+	}
+}
+
+// Client is a test-side chat client on its own kernel task.
+type Client struct {
+	k    *kernel.Kernel
+	task *laminar.Task
+	fd   kernel.FD
+}
+
+// Dial connects a fresh task to the named chat listener.
+func Dial(sys *laminar.System, name string) (*Client, error) {
+	k := sys.Kernel()
+	task, err := k.Spawn(k.InitTask(), []kernel.Capability{})
+	if err != nil {
+		return nil, err
+	}
+	fd, err := k.Connect(task, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{k: k, task: task, fd: fd}, nil
+}
+
+// Send transmits one protocol line.
+func (c *Client) Send(line string) error {
+	_, err := c.k.Send(c.task, c.fd, []byte(line))
+	return err
+}
+
+// Recv returns the next reply, or "" when none is pending.
+func (c *Client) Recv() string {
+	buf := make([]byte, 1024)
+	n, err := c.k.Recv(c.task, c.fd, buf)
+	if err != nil || n == 0 {
+		return ""
+	}
+	return strings.TrimSpace(string(buf[:n]))
+}

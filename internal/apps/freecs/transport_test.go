@@ -1,0 +1,114 @@
+package freecs
+
+import (
+	"strings"
+	"testing"
+
+	"laminar"
+)
+
+// drive pumps the listener until quiescent.
+func drive(l *Listener) {
+	for l.Pump() > 0 {
+	}
+}
+
+// roundTrip sends one line and returns the reply after pumping.
+func roundTrip(t *testing.T, l *Listener, c *Client, line string) string {
+	t.Helper()
+	if err := c.Send(line); err != nil {
+		t.Fatal(err)
+	}
+	drive(l)
+	return c.Recv()
+}
+
+func TestSocketChatSession(t *testing.T) {
+	sys := laminar.NewSystem()
+	s, err := NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.ListenAndServe("chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admin, err := Dial(sys, "chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	troll, err := Dial(sys, "chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := roundTrip(t, l, admin, "LOGIN boss super lobby"); got != "OK" {
+		t.Fatalf("admin login = %q", got)
+	}
+	if got := roundTrip(t, l, troll, "LOGIN troll guest"); got != "OK" {
+		t.Fatalf("troll login = %q", got)
+	}
+	if got := roundTrip(t, l, troll, "SAY lobby first post"); got != "OK" {
+		t.Fatalf("troll say = %q", got)
+	}
+	// The troll cannot ban; the policy rejection travels back as ERR.
+	if got := roundTrip(t, l, troll, "BAN lobby boss"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("troll ban = %q", got)
+	}
+	// The admin bans the troll over the wire.
+	if got := roundTrip(t, l, admin, "BAN lobby troll"); got != "OK" {
+		t.Fatalf("admin ban = %q", got)
+	}
+	if got := roundTrip(t, l, troll, "SAY lobby still here"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("banned say = %q", got)
+	}
+	// Theme get/set.
+	if got := roundTrip(t, l, admin, "THEME lobby maintenance window"); got != "OK" {
+		t.Fatalf("set theme = %q", got)
+	}
+	if got := roundTrip(t, l, troll, "THEME lobby"); got != "OK maintenance window" {
+		t.Fatalf("get theme = %q", got)
+	}
+	if s.Messages("lobby") != 1 {
+		t.Errorf("messages = %d, want 1", s.Messages("lobby"))
+	}
+	// Quit closes the session.
+	if got := roundTrip(t, l, troll, "QUIT"); got != "OK bye" {
+		t.Fatalf("quit = %q", got)
+	}
+}
+
+func TestSocketProtocolErrors(t *testing.T) {
+	sys := laminar.NewSystem()
+	s, err := NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.ListenAndServe("chat2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(sys, "chat2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := roundTrip(t, l, c, "SAY lobby hi"); got != "ERR login first" {
+		t.Errorf("pre-login say = %q", got)
+	}
+	if got := roundTrip(t, l, c, "LOGIN x wizard"); got != "ERR unknown role" {
+		t.Errorf("bad role = %q", got)
+	}
+	if got := roundTrip(t, l, c, "LOGIN x guest"); got != "OK" {
+		t.Fatalf("login = %q", got)
+	}
+	if got := roundTrip(t, l, c, "LOGIN y guest"); got != "ERR already logged in" {
+		t.Errorf("double login = %q", got)
+	}
+	if got := roundTrip(t, l, c, "FROBNICATE"); !strings.Contains(got, "unknown command") {
+		t.Errorf("unknown command = %q", got)
+	}
+	if got := roundTrip(t, l, c, "BAN lobby"); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("malformed ban = %q", got)
+	}
+}

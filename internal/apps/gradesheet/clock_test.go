@@ -1,0 +1,6 @@
+package gradesheet
+
+import "time"
+
+// nowNanos is a test helper for wall-clock deltas.
+func nowNanos() int64 { return time.Now().UnixNano() }

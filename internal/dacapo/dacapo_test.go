@@ -1,0 +1,99 @@
+package dacapo
+
+import (
+	"testing"
+
+	"laminar/internal/jvm"
+)
+
+func TestAllWorkloadsBuildAndVerify(t *testing.T) {
+	for _, m := range Workloads {
+		p, err := Build(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Errorf("%s: verify: %v", m.Name, err)
+		}
+	}
+}
+
+func TestChecksumsStableAcrossModes(t *testing.T) {
+	// Barrier configuration must not change program results.
+	for _, m := range Workloads {
+		var want int64
+		for i, mode := range []jvm.BarrierMode{jvm.BarrierNone, jvm.BarrierStatic, jvm.BarrierDynamic} {
+			sum, _, err := Run(m, 50, jvm.CompileOptions{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s mode %v: %v", m.Name, mode, err)
+			}
+			if i == 0 {
+				want = sum
+			} else if sum != want {
+				t.Errorf("%s mode %v: checksum %d, want %d", m.Name, mode, sum, want)
+			}
+			// Optimization must not change results either.
+			osum, _, err := Run(m, 50, jvm.CompileOptions{Mode: mode, Optimize: true})
+			if err != nil {
+				t.Fatalf("%s mode %v opt: %v", m.Name, mode, err)
+			}
+			if osum != want {
+				t.Errorf("%s mode %v opt: checksum %d, want %d", m.Name, mode, osum, want)
+			}
+		}
+	}
+}
+
+func TestBarrierWorkScalesWithMode(t *testing.T) {
+	m := Workloads[0]
+	_, noneStats, err := Run(m, 100, jvm.CompileOptions{Mode: jvm.BarrierNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statStats, err := Run(m, 100, jvm.CompileOptions{Mode: jvm.BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dynStats, err := Run(m, 100, jvm.CompileOptions{Mode: jvm.BarrierDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noneStats.BarrierChecks != 0 {
+		t.Error("none mode ran barrier checks")
+	}
+	if statStats.BarrierChecks == 0 {
+		t.Error("static mode ran no barrier checks")
+	}
+	if dynStats.ContextChecks == 0 {
+		t.Error("dynamic mode ran no context checks")
+	}
+	if dynStats.Instructions <= statStats.Instructions {
+		t.Errorf("dynamic instructions %d <= static %d", dynStats.Instructions, statStats.Instructions)
+	}
+	if statStats.Instructions <= noneStats.Instructions {
+		t.Errorf("static instructions %d <= none %d", statStats.Instructions, noneStats.Instructions)
+	}
+}
+
+func TestOptimizationReducesBarriers(t *testing.T) {
+	anyReduced := false
+	for _, m := range Workloads {
+		_, plain, err := Run(m, 20, jvm.CompileOptions{Mode: jvm.BarrierStatic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := Run(m, 20, jvm.CompileOptions{Mode: jvm.BarrierStatic, Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.BarrierChecks < plain.BarrierChecks {
+			anyReduced = true
+		}
+		if opt.BarrierChecks > plain.BarrierChecks {
+			t.Errorf("%s: optimization increased checks %d -> %d", m.Name, plain.BarrierChecks, opt.BarrierChecks)
+		}
+	}
+	if !anyReduced {
+		t.Error("redundant-barrier elimination removed nothing across the suite")
+	}
+}

@@ -1,0 +1,105 @@
+package dacapo
+
+import (
+	"fmt"
+
+	"laminar/internal/difc"
+	"laminar/internal/jvm"
+)
+
+// Region-density sweep. §4.3 argues that "requiring threads to access
+// labeled data within security regions limits the amount of work the VM
+// and compiler must do to enforce DIFC, provided that a substantial
+// portion of the execution time is spent operating on unlabeled data."
+// BuildRegionSweep generates a family of programs that vary the fraction
+// of work executed inside security regions, so the overhead-vs-density
+// curve behind that claim can be measured directly.
+
+// RegionSweepPoint is one density in the sweep.
+type RegionSweepPoint struct {
+	Name       string
+	PctInside  int // percentage of work units executed inside a region
+	WorkUnits  int // total work units per loop iteration
+	SecrecyTag difc.Tag
+}
+
+// RegionSweep returns sweep points from all-outside to all-inside.
+func RegionSweep() []RegionSweepPoint {
+	out := make([]RegionSweepPoint, 0, 6)
+	for _, pct := range []int{0, 10, 25, 50, 75, 100} {
+		out = append(out, RegionSweepPoint{
+			Name:       fmt.Sprintf("inside-%d%%", pct),
+			PctInside:  pct,
+			WorkUnits:  40,
+			SecrecyTag: difc.Tag(1),
+		})
+	}
+	return out
+}
+
+// BuildRegionSweep generates the program for one sweep point:
+//
+//	swork(dummy): a secure method that allocates a labeled object and
+//	              performs the inside share of the work units on it;
+//	run(n):       per iteration, performs the outside share on an
+//	              unlabeled object and calls swork once (if the inside
+//	              share is non-zero).
+//
+// Inside and outside work units are identical field increment sequences,
+// so the measured difference between sweep points is purely region
+// entry/exit plus in-region barrier cost.
+func BuildRegionSweep(pt RegionSweepPoint) (*jvm.Program, error) {
+	p := jvm.NewProgram(0)
+	inside := pt.WorkUnits * pt.PctInside / 100
+	outside := pt.WorkUnits - inside
+
+	// unit emits one work unit: obj.f0 = obj.f0 + 1, obj in the given
+	// local slot.
+	unit := func(a *jvm.Asm, slot int) {
+		a.Load(slot).Load(slot).GetField(0).Const(1).Op(jvm.OpAdd).PutField(0)
+	}
+
+	var swork *jvm.Method
+	if inside > 0 {
+		swork = &jvm.Method{Name: "swork", NArgs: 1, NLocal: 2, Secure: &jvm.SecureInfo{
+			Labels: difc.Labels{S: difc.NewLabel(pt.SecrecyTag)},
+		}}
+		p.Add(swork)
+		a := jvm.NewAsm()
+		a.New(1).Store(1)
+		a.Load(1).Const(0).PutField(0)
+		for u := 0; u < inside; u++ {
+			unit(a, 1)
+		}
+		a.Op(jvm.OpReturn)
+		code, err := a.Build()
+		if err != nil {
+			return nil, err
+		}
+		swork.Code = code
+	}
+
+	run := &jvm.Method{Name: "run", NArgs: 1, NLocal: 3}
+	p.Add(run)
+	a := jvm.NewAsm()
+	a.New(1).Store(2)
+	a.Load(2).Const(0).PutField(0)
+	a.Label("loop")
+	a.Load(0).Const(0).Op(jvm.OpCmpLE).JmpIf("done")
+	a.Load(0).Const(1).Op(jvm.OpSub).Store(0)
+	for u := 0; u < outside; u++ {
+		unit(a, 2)
+	}
+	if swork != nil {
+		a.Load(2).Invoke(swork)
+	}
+	a.Jmp("loop")
+	a.Label("done")
+	a.Load(2).GetField(0).Op(jvm.OpReturnVal)
+	code, err := a.Build()
+	if err != nil {
+		return nil, err
+	}
+	run.Code = code
+	return p, nil
+}

@@ -1,0 +1,160 @@
+// Package declass implements the paper's declassifier-module pattern
+// (§3.3): a data owner packages her declassification policy as a small
+// code module carrying her capabilities; a server application — possibly
+// entirely ignorant of DIFC — loads the module and invokes it, and the
+// module alone decides which of the owner's data becomes public. The
+// decision to declassify stays "localized to a small piece of code that
+// can be closely audited" (§1).
+//
+// Modules are integrity-endorsed: a registry created with an endorsement
+// tag refuses modules that are not vouched for, reproducing the paper's
+// plugin story ("the server cannot execute or read a plugin that has an
+// integrity label lower than {I(i)}").
+package declass
+
+import (
+	"fmt"
+	"sync"
+
+	"laminar"
+)
+
+// Func is the owner-supplied declassification policy: it runs inside a
+// security region carrying the owner's labels and capabilities, reads the
+// labeled input, and returns the value to publish. Returning an error
+// aborts without declassifying anything.
+type Func func(r *laminar.Region, input *laminar.Object) (any, error)
+
+// Module is a loadable declassifier.
+type Module struct {
+	Name string
+	// labels the module's region runs with (the owner's data label).
+	labels laminar.Labels
+	// caps the owner granted to the module (must include the minus
+	// capabilities the policy needs).
+	caps laminar.CapSet
+	// endorsed records the integrity tag the registry verified at load.
+	endorsed laminar.Label
+	fn       Func
+}
+
+// NewModule packages a declassification policy. The owner calls this with
+// the label of the data the module may read and the capability set it may
+// use; the module never exposes either to the host application.
+func NewModule(name string, labels laminar.Labels, caps laminar.CapSet, fn Func) *Module {
+	return &Module{Name: name, labels: labels, caps: caps, fn: fn}
+}
+
+// Registry is the server-side module loader. It only accepts modules
+// endorsed with its required integrity tag.
+type Registry struct {
+	required laminar.Tag
+
+	mu      sync.Mutex
+	modules map[string]*Module
+}
+
+// NewRegistry creates a loader that requires the given endorsement tag.
+func NewRegistry(required laminar.Tag) *Registry {
+	return &Registry{required: required, modules: make(map[string]*Module)}
+}
+
+// ErrNotEndorsed reports a module without the required integrity
+// endorsement.
+var ErrNotEndorsed = fmt.Errorf("declass: module lacks the required integrity endorsement")
+
+// ErrRefused reports a policy that declined to declassify.
+var ErrRefused = fmt.Errorf("declass: module refused to declassify")
+
+// Load verifies the module's endorsement and registers it. endorsement is
+// the integrity label the distribution channel attached (e.g. read from
+// the module file's integrity xattr); it must contain the registry's
+// required tag.
+func (g *Registry) Load(m *Module, endorsement laminar.Label) error {
+	if !endorsement.Has(g.required) {
+		return fmt.Errorf("%w: have %v, need tag %v", ErrNotEndorsed, endorsement, g.required)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.modules[m.Name]; dup {
+		return fmt.Errorf("declass: module %q already loaded", m.Name)
+	}
+	m.endorsed = endorsement
+	g.modules[m.Name] = m
+	return nil
+}
+
+// Invoke runs the named module on input as the given thread. The thread
+// needs no capabilities of its own: the module's region runs with the
+// capabilities the owner baked in, and only the module's return value
+// leaves the label boundary. The host receives an unlabeled result.
+func (g *Registry) Invoke(th *laminar.Thread, name string, input *laminar.Object) (any, error) {
+	g.mu.Lock()
+	m, ok := g.modules[name]
+	g.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("declass: no module %q", name)
+	}
+	// The module's thread must hold the owner's capabilities for the
+	// region entry; the owner's grant travels with the module, installed
+	// on a dedicated module thread forked at first use.
+	mth, err := g.moduleThread(th, m)
+	if err != nil {
+		return nil, err
+	}
+	var out any
+	var ferr error
+	err = mth.Secure(m.labels, m.caps, func(r *laminar.Region) {
+		v, err := m.fn(r, input)
+		if err != nil {
+			ferr = err
+			return
+		}
+		// Publish through a nested empty region: the module must hold
+		// the minus capabilities for every tag in its label, or the
+		// declassification fails here — the host cannot help it.
+		err = mth.Secure(laminar.Labels{}, m.caps, func(r2 *laminar.Region) {
+			holder := r2.Alloc(nil)
+			r2.Set(holder, "v", v)
+			out = r2.Get(holder, "v")
+		}, nil)
+		if err != nil {
+			panic(&laminar.Violation{Op: "declassify", Err: err})
+		}
+	}, func(r *laminar.Region, e any) {
+		ferr = fmt.Errorf("declass: %v", e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return out, nil
+}
+
+// moduleThread forks a thread for the module carrying the owner's
+// capabilities. The fork happens from the host thread, but the
+// capabilities come from the module's grant (installed via the trusted
+// grant path the owner used when packaging the module).
+func (g *Registry) moduleThread(host *laminar.Thread, m *Module) (*laminar.Thread, error) {
+	th, err := host.Fork([]laminar.Capability{})
+	if err != nil {
+		return nil, err
+	}
+	for _, tag := range m.caps.Plus().Tags() {
+		th.GrantCapability(tag, laminar.CapPlus)
+	}
+	for _, tag := range m.caps.Minus().Tags() {
+		th.GrantCapability(tag, laminar.CapMinus)
+	}
+	// Entering the module's region may also need plus capabilities for
+	// its labels.
+	for _, tag := range m.labels.S.Tags() {
+		th.GrantCapability(tag, laminar.CapPlus)
+	}
+	for _, tag := range m.labels.I.Tags() {
+		th.GrantCapability(tag, laminar.CapPlus)
+	}
+	return th, nil
+}

@@ -1,0 +1,146 @@
+package declass
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"laminar"
+)
+
+// setup boots a system with a server thread, an endorsement tag, and an
+// owner ("alice") with a secret object.
+func setup(t *testing.T) (*laminar.Thread, laminar.Tag, laminar.Tag, *laminar.Object) {
+	t.Helper()
+	sys := laminar.NewSystem()
+	shell, err := sys.Login("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, server, err := sys.LaunchVM(shell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endorseTag, err := server.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice's side: her own thread mints her tag and builds the secret.
+	alice, err := server.Fork([]laminar.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTag, err := alice.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cal *laminar.Object
+	err = alice.Secure(laminar.Labels{S: laminar.NewLabel(aTag)}, laminar.EmptyCapSet, func(r *laminar.Region) {
+		cal = r.Alloc(nil)
+		r.Set(cal, "monday", "dentist 10am")
+		r.Set(cal, "tuesday", "free")
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server, endorseTag, aTag, cal
+}
+
+// aliceModule builds Alice's declassifier: it publishes only whether
+// Tuesday is free, never the calendar contents.
+func aliceModule(aTag laminar.Tag) *Module {
+	return NewModule("alice-availability",
+		laminar.Labels{S: laminar.NewLabel(aTag)},
+		laminar.NewCapSet(laminar.NewLabel(aTag), laminar.NewLabel(aTag)),
+		func(r *laminar.Region, cal *laminar.Object) (any, error) {
+			return r.Get(cal, "tuesday") == "free", nil
+		})
+}
+
+func TestModuleDeclassifiesSelectively(t *testing.T) {
+	server, endorseTag, aTag, cal := setup(t)
+	reg := NewRegistry(endorseTag)
+	if err := reg.Load(aliceModule(aTag), laminar.NewLabel(endorseTag)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := reg.Invoke(server, "alice-availability", cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != true {
+		t.Errorf("availability = %v, want true", out)
+	}
+	// The server itself still cannot read the calendar.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("server read the calendar directly")
+			}
+		}()
+		server.Get(cal, "monday")
+	}()
+}
+
+func TestUnendorsedModuleRefused(t *testing.T) {
+	_, endorseTag, aTag, _ := setup(t)
+	reg := NewRegistry(endorseTag)
+	err := reg.Load(aliceModule(aTag), laminar.EmptyLabel)
+	if !errors.Is(err, ErrNotEndorsed) {
+		t.Errorf("unendorsed load = %v, want ErrNotEndorsed", err)
+	}
+	err = reg.Load(aliceModule(aTag), laminar.NewLabel(laminar.Tag(999)))
+	if !errors.Is(err, ErrNotEndorsed) {
+		t.Errorf("wrong-tag load = %v", err)
+	}
+}
+
+func TestModuleWithoutMinusCannotPublish(t *testing.T) {
+	// A module whose owner granted only the plus capability can read the
+	// data but can never declassify the result.
+	server, endorseTag, aTag, cal := setup(t)
+	reg := NewRegistry(endorseTag)
+	m := NewModule("plus-only",
+		laminar.Labels{S: laminar.NewLabel(aTag)},
+		laminar.NewCapSet(laminar.NewLabel(aTag), laminar.EmptyLabel),
+		func(r *laminar.Region, cal *laminar.Object) (any, error) {
+			return r.Get(cal, "monday"), nil
+		})
+	if err := reg.Load(m, laminar.NewLabel(endorseTag)); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := reg.Invoke(server, "plus-only", cal); err == nil {
+		t.Errorf("plus-only module published %v", out)
+	}
+}
+
+func TestModuleErrorAbortsQuietly(t *testing.T) {
+	server, endorseTag, aTag, cal := setup(t)
+	reg := NewRegistry(endorseTag)
+	m := NewModule("refuser",
+		laminar.Labels{S: laminar.NewLabel(aTag)},
+		laminar.NewCapSet(laminar.NewLabel(aTag), laminar.NewLabel(aTag)),
+		func(r *laminar.Region, cal *laminar.Object) (any, error) {
+			return nil, ErrRefused
+		})
+	if err := reg.Load(m, laminar.NewLabel(endorseTag)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Invoke(server, "refuser", cal); !errors.Is(err, ErrRefused) {
+		t.Errorf("refusing module = %v", err)
+	}
+}
+
+func TestRegistryBookkeeping(t *testing.T) {
+	server, endorseTag, aTag, cal := setup(t)
+	reg := NewRegistry(endorseTag)
+	m := aliceModule(aTag)
+	if err := reg.Load(m, laminar.NewLabel(endorseTag)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load(m, laminar.NewLabel(endorseTag)); err == nil || !strings.Contains(err.Error(), "already loaded") {
+		t.Errorf("duplicate load = %v", err)
+	}
+	if _, err := reg.Invoke(server, "missing", cal); err == nil {
+		t.Error("invoke of missing module succeeded")
+	}
+}

@@ -1,0 +1,111 @@
+package difc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCapSetGrantDrop(t *testing.T) {
+	c := EmptyCapSet.Grant(1, CapBoth)
+	if !c.CanAdd(1) || !c.CanDrop(1) {
+		t.Error("Grant(CapBoth) should grant both halves")
+	}
+	c2 := c.Drop(1, CapMinus)
+	if !c2.CanAdd(1) || c2.CanDrop(1) {
+		t.Error("Drop(CapMinus) should leave plus intact")
+	}
+	if !c.CanDrop(1) {
+		t.Error("Drop mutated receiver")
+	}
+	if c2.Has(1, CapPlus) != true || c2.Has(1, CapBoth) != false {
+		t.Error("Has kind queries wrong")
+	}
+	if c2.Has(1, CapKind(0)) {
+		t.Error("Has with zero kind should be false")
+	}
+}
+
+func TestCapSetUnionIntersect(t *testing.T) {
+	a := EmptyCapSet.Grant(1, CapPlus).Grant(2, CapMinus)
+	b := EmptyCapSet.Grant(1, CapBoth)
+	u := a.Union(b)
+	if !u.CanAdd(1) || !u.CanDrop(1) || !u.CanDrop(2) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if !i.CanAdd(1) || i.CanDrop(1) || i.CanDrop(2) {
+		t.Errorf("Intersect = %v", i)
+	}
+}
+
+func TestCapSetSubsetOf(t *testing.T) {
+	a := EmptyCapSet.Grant(1, CapPlus)
+	b := EmptyCapSet.Grant(1, CapBoth).Grant(2, CapMinus)
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !EmptyCapSet.SubsetOf(a) {
+		t.Error("empty set is subset of everything")
+	}
+}
+
+func TestCapSetString(t *testing.T) {
+	c := EmptyCapSet.Grant(1, CapBoth).Grant(2, CapPlus).Grant(3, CapMinus)
+	if got := c.String(); got != "C(t1+-,t2+,t3-)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := EmptyCapSet.String(); got != "C()" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+func TestCapSetIsEmpty(t *testing.T) {
+	if !EmptyCapSet.IsEmpty() {
+		t.Error("EmptyCapSet not empty")
+	}
+	if EmptyCapSet.Grant(1, CapPlus).IsEmpty() {
+		t.Error("granted set reported empty")
+	}
+}
+
+func TestCapKindString(t *testing.T) {
+	cases := map[CapKind]string{CapPlus: "+", CapMinus: "-", CapBoth: "+-", CapKind(0): "?"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestPropCapSetUnionMonotone(t *testing.T) {
+	f := func(a, b CapSet) bool {
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCapSetIntersectLowerBound(t *testing.T) {
+	f := func(a, b CapSet) bool {
+		i := a.Intersect(b)
+		return i.SubsetOf(a) && i.SubsetOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGrantThenHas(t *testing.T) {
+	f := func(c CapSet) bool {
+		g := c.Grant(42, CapBoth)
+		return g.CanAdd(42) && g.CanDrop(42)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package difc
+
+import "fmt"
+
+// Labels pairs a secrecy label with an integrity label — the full security
+// metadata of a principal or data object, written {S(s...),I(i...)} in the
+// paper. The zero value is the unlabeled state {S(),I()}.
+type Labels struct {
+	S Label // secrecy label
+	I Label // integrity label
+}
+
+// Unlabeled is the implicit label pair of every unlabeled resource.
+var Unlabeled = Labels{}
+
+// NewLabels builds a label pair from explicit secrecy and integrity sets.
+func NewLabels(s, i Label) Labels { return Labels{S: s, I: i} }
+
+// IsEmpty reports whether both labels are empty ({S(),I()}).
+func (l Labels) IsEmpty() bool { return l.S.IsEmpty() && l.I.IsEmpty() }
+
+// Equal reports whether both components match.
+func (l Labels) Equal(other Labels) bool { return l.S.Equal(other.S) && l.I.Equal(other.I) }
+
+// CanFlowTo reports whether information may flow from a source with labels
+// l to a destination with labels dst without any label change:
+//
+//	secrecy (Bell–LaPadula):  Sx ⊆ Sy — no read up, no write down
+//	integrity (Biba):         Iy ⊆ Ix — no read down, no write up
+//
+// (§3.2). Either endpoint may first make a flow feasible by changing its
+// own labels under the label-change rule; that is CanChange's job.
+func (l Labels) CanFlowTo(dst Labels) bool {
+	return l.S.SubsetOf(dst.S) && dst.I.SubsetOf(l.I)
+}
+
+// String renders the pair in the paper's {S(...),I(...)} notation.
+func (l Labels) String() string {
+	return fmt.Sprintf("{S%s,I%s}", l.S.String(), l.I.String())
+}
+
+// CanChange reports whether a principal holding caps may change one of its
+// labels from the current set to the desired set. The paper's label-change
+// rule (§3.2):
+//
+//	(L2 − L1) ⊆ Cp+  and  (L1 − L2) ⊆ Cp−
+//
+// Added tags need the plus capability, dropped tags the minus capability.
+func CanChange(from, to Label, caps CapSet) bool {
+	return to.Minus(from).SubsetOf(caps.Plus()) && from.Minus(to).SubsetOf(caps.Minus())
+}
+
+// CanChangeLabels applies CanChange to both components of a label pair.
+func CanChangeLabels(from, to Labels, caps CapSet) bool {
+	return CanChange(from.S, to.S, caps) && CanChange(from.I, to.I, caps)
+}
+
+// CanEnterRegion checks the security-region initialization rules (§4.3.2)
+// for a principal with labels p and capabilities pc entering a region
+// declared with labels r and capabilities rc:
+//
+//	(1) SR ⊆ (Cp+ ∪ SP)  and  IR ⊆ (Cp+ ∪ IP)
+//	(2) CR ⊆ CP
+//
+// plus the drop half of the label-change rule: any tag the principal
+// currently carries that the region omits is a declassification (or
+// endorsement drop) and needs the minus capability. Figure 4's nested
+// region {S(b), C(a−)} entered from {S(a,b)} type-checks precisely because
+// a− is in the entering thread's capability set; without the drop check, a
+// nested empty region would silently declassify the thread.
+func CanEnterRegion(p Labels, pc CapSet, r Labels, rc CapSet) bool {
+	if !r.S.SubsetOf(pc.Plus().Union(p.S)) {
+		return false
+	}
+	if !r.I.SubsetOf(pc.Plus().Union(p.I)) {
+		return false
+	}
+	if !p.S.Minus(r.S).SubsetOf(pc.Minus()) {
+		return false
+	}
+	if !p.I.Minus(r.I).SubsetOf(pc.Minus()) {
+		return false
+	}
+	return rc.SubsetOf(pc)
+}
+
+// FlowError describes a rejected information flow. It satisfies error and
+// carries the labels on both sides so callers (and tests) can see exactly
+// which rule failed.
+type FlowError struct {
+	Op   string // operation attempted, e.g. "read", "write", "send"
+	Src  Labels // source labels
+	Dst  Labels // destination labels
+	Rule string // which rule failed: "secrecy" or "integrity"
+}
+
+// Error formats the violation.
+func (e *FlowError) Error() string {
+	return fmt.Sprintf("difc: %s: %s flow violation: %v -> %v", e.Op, e.Rule, e.Src, e.Dst)
+}
+
+// CheckFlow returns nil when information may flow src → dst, and a
+// *FlowError naming the violated rule otherwise.
+func CheckFlow(op string, src, dst Labels) error {
+	if !src.S.SubsetOf(dst.S) {
+		return &FlowError{Op: op, Src: src, Dst: dst, Rule: "secrecy"}
+	}
+	if !dst.I.SubsetOf(src.I) {
+		return &FlowError{Op: op, Src: src, Dst: dst, Rule: "integrity"}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+// Package difc implements the decentralized information flow control model
+// used by Laminar (Roy et al., PLDI 2009): tags, labels, capability sets,
+// and the rules that determine which information flows are legal.
+//
+// The package is pure — it has no dependency on the runtime or kernel
+// substrates — and every type in it is immutable after construction, which
+// mirrors the paper's immutable-label design (§4.5) and lets labels be
+// shared freely between threads, objects and security regions without
+// synchronization.
+package difc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tag is a short arbitrary token drawn from a 64-bit universe (§3.1). A tag
+// has no inherent meaning; meaning comes from the labels and capabilities
+// that reference it. The zero value is reserved as "no tag" and never
+// allocated.
+type Tag uint64
+
+// InvalidTag is the reserved zero tag. Allocators never return it and
+// labels never contain it.
+const InvalidTag Tag = 0
+
+// String formats the tag as t<n> for readable test and log output.
+func (t Tag) String() string { return fmt.Sprintf("t%d", uint64(t)) }
+
+// Label is an immutable set of tags. A label is attached to principals and
+// data objects, once for secrecy and once for integrity. The subset
+// relation over labels forms the lattice of Denning's model; the empty
+// label is the lattice bottom and is the implicit label of every unlabeled
+// resource (§3.1).
+//
+// The zero value is the empty label and is ready to use.
+type Label struct {
+	// tags is sorted ascending with no duplicates and never mutated after
+	// construction. Methods that "modify" a label return a new one.
+	tags []Tag
+}
+
+// EmptyLabel is the label of unlabeled resources: {S()} or {I()}.
+var EmptyLabel = Label{}
+
+// NewLabel builds a label from the given tags. Duplicates are collapsed and
+// InvalidTag entries are dropped.
+func NewLabel(tags ...Tag) Label {
+	if len(tags) == 0 {
+		return Label{}
+	}
+	ts := make([]Tag, 0, len(tags))
+	for _, t := range tags {
+		if t != InvalidTag {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	// Dedup in place.
+	out := ts[:0]
+	var prev Tag
+	for i, t := range ts {
+		if i == 0 || t != prev {
+			out = append(out, t)
+		}
+		prev = t
+	}
+	if len(out) == 0 {
+		return Label{}
+	}
+	return Label{tags: out}
+}
+
+// Len reports the number of tags in the label.
+func (l Label) Len() int { return len(l.tags) }
+
+// IsEmpty reports whether the label is the empty (bottom) label.
+func (l Label) IsEmpty() bool { return len(l.tags) == 0 }
+
+// Has reports whether tag t is a member of the label.
+func (l Label) Has(t Tag) bool {
+	i := sort.Search(len(l.tags), func(i int) bool { return l.tags[i] >= t })
+	return i < len(l.tags) && l.tags[i] == t
+}
+
+// Tags returns a copy of the label's tags in ascending order. The copy may
+// be mutated by the caller without affecting the label.
+func (l Label) Tags() []Tag {
+	if len(l.tags) == 0 {
+		return nil
+	}
+	out := make([]Tag, len(l.tags))
+	copy(out, l.tags)
+	return out
+}
+
+// SubsetOf reports whether every tag in l is also in other (l ⊆ other).
+func (l Label) SubsetOf(other Label) bool {
+	if len(l.tags) > len(other.tags) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(other.tags) {
+		switch {
+		case l.tags[i] == other.tags[j]:
+			i++
+			j++
+		case l.tags[i] > other.tags[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(l.tags)
+}
+
+// Equal reports whether two labels contain exactly the same tags.
+func (l Label) Equal(other Label) bool {
+	if len(l.tags) != len(other.tags) {
+		return false
+	}
+	for i := range l.tags {
+		if l.tags[i] != other.tags[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the least upper bound of l and other in the label lattice.
+func (l Label) Union(other Label) Label {
+	if l.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return l
+	}
+	out := make([]Tag, 0, len(l.tags)+len(other.tags))
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(other.tags) {
+		switch {
+		case l.tags[i] == other.tags[j]:
+			out = append(out, l.tags[i])
+			i++
+			j++
+		case l.tags[i] < other.tags[j]:
+			out = append(out, l.tags[i])
+			i++
+		default:
+			out = append(out, other.tags[j])
+			j++
+		}
+	}
+	out = append(out, l.tags[i:]...)
+	out = append(out, other.tags[j:]...)
+	return Label{tags: out}
+}
+
+// Meet returns the greatest lower bound (intersection) of l and other.
+func (l Label) Meet(other Label) Label {
+	if l.IsEmpty() || other.IsEmpty() {
+		return Label{}
+	}
+	out := make([]Tag, 0, min(len(l.tags), len(other.tags)))
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(other.tags) {
+		switch {
+		case l.tags[i] == other.tags[j]:
+			out = append(out, l.tags[i])
+			i++
+			j++
+		case l.tags[i] < other.tags[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return Label{}
+	}
+	return Label{tags: out}
+}
+
+// Minus returns the set difference l − other.
+func (l Label) Minus(other Label) Label {
+	if l.IsEmpty() || other.IsEmpty() {
+		return l
+	}
+	out := make([]Tag, 0, len(l.tags))
+	for _, t := range l.tags {
+		if !other.Has(t) {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return Label{}
+	}
+	return Label{tags: out}
+}
+
+// Add returns a new label that also contains t.
+func (l Label) Add(t Tag) Label {
+	if t == InvalidTag || l.Has(t) {
+		return l
+	}
+	return l.Union(NewLabel(t))
+}
+
+// Remove returns a new label without t.
+func (l Label) Remove(t Tag) Label {
+	if !l.Has(t) {
+		return l
+	}
+	return l.Minus(NewLabel(t))
+}
+
+// String renders the label as {t1,t2,...}; the empty label renders as {}.
+func (l Label) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range l.tags {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

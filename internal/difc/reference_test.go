@@ -1,0 +1,156 @@
+package difc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Differential testing: every optimized sorted-slice set operation is
+// checked against a naive map-based reference model on random inputs.
+
+type refSet map[Tag]bool
+
+func toRef(l Label) refSet {
+	m := make(refSet)
+	for _, t := range l.Tags() {
+		m[t] = true
+	}
+	return m
+}
+
+func refEqual(m refSet, l Label) bool {
+	if len(m) != l.Len() {
+		return false
+	}
+	for t := range m {
+		if !l.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiffUnion(t *testing.T) {
+	f := func(a, b Label) bool {
+		want := toRef(a)
+		for t := range toRef(b) {
+			want[t] = true
+		}
+		return refEqual(want, a.Union(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffMeet(t *testing.T) {
+	f := func(a, b Label) bool {
+		bm := toRef(b)
+		want := make(refSet)
+		for t := range toRef(a) {
+			if bm[t] {
+				want[t] = true
+			}
+		}
+		return refEqual(want, a.Meet(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffMinus(t *testing.T) {
+	f := func(a, b Label) bool {
+		bm := toRef(b)
+		want := make(refSet)
+		for t := range toRef(a) {
+			if !bm[t] {
+				want[t] = true
+			}
+		}
+		return refEqual(want, a.Minus(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffSubsetOf(t *testing.T) {
+	f := func(a, b Label) bool {
+		bm := toRef(b)
+		want := true
+		for t := range toRef(a) {
+			if !bm[t] {
+				want = false
+				break
+			}
+		}
+		return want == a.SubsetOf(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffCanFlow(t *testing.T) {
+	// Reference: brute-force the two subset conditions element-wise.
+	f := func(x, y Labels) bool {
+		want := true
+		ym := toRef(y.S)
+		for t := range toRef(x.S) {
+			if !ym[t] {
+				want = false
+			}
+		}
+		xm := toRef(x.I)
+		for t := range toRef(y.I) {
+			if !xm[t] {
+				want = false
+			}
+		}
+		return want == x.CanFlowTo(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffCanChange(t *testing.T) {
+	f := func(from, to Label, caps CapSet) bool {
+		plus, minus := toRef(caps.Plus()), toRef(caps.Minus())
+		fromM, toM := toRef(from), toRef(to)
+		want := true
+		for t := range toM {
+			if !fromM[t] && !plus[t] {
+				want = false
+			}
+		}
+		for t := range fromM {
+			if !toM[t] && !minus[t] {
+				want = false
+			}
+		}
+		return want == CanChange(from, to, caps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffAddRemove(t *testing.T) {
+	f := func(a Label, tag Tag) bool {
+		if tag == InvalidTag {
+			return true
+		}
+		want := toRef(a)
+		want[tag] = true
+		if !refEqual(want, a.Add(tag)) {
+			return false
+		}
+		delete(want, tag)
+		return refEqual(want, a.Add(tag).Remove(tag))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"laminar"
+	"laminar/internal/apps/battleship"
+	"laminar/internal/apps/calendar"
+	"laminar/internal/apps/freecs"
+	"laminar/internal/apps/gradesheet"
+	"laminar/internal/rt"
+)
+
+// AppRow is one case study's result: Table 3's %-time-in-SR column plus
+// Figure 9's overhead and its attribution.
+type AppRow struct {
+	Name        string
+	Unsecured   time.Duration
+	Secured     time.Duration
+	OverheadPct float64
+	PctInSR     float64
+
+	// Dynamic-check counts behind the Figure 9 breakdown.
+	Regions    uint64
+	Allocs     uint64
+	RWBarriers uint64
+	DynChecks  uint64
+
+	// Attributed overhead shares (nanoseconds), from unit costs ×
+	// counts: start/end SR, allocation barriers, read/write barriers.
+	StartEndNs int64
+	AllocNs    int64
+	BarrierNs  int64
+}
+
+// AppsReport reproduces Table 3 (measured column) and Figure 9.
+type AppsReport struct {
+	Rows  []AppRow
+	Units UnitCosts
+}
+
+// UnitCosts are microbenchmarked costs of the runtime's security
+// primitives, used to attribute overhead to Figure 9's categories.
+type UnitCosts struct {
+	RegionNs  float64 // one empty security region enter+exit
+	BarrierNs float64 // one read barrier on a labeled object
+	AllocNs   float64 // one labeled allocation barrier (minus base alloc)
+}
+
+// MeasureUnitCosts microbenchmarks the primitives.
+func MeasureUnitCosts() (UnitCosts, error) {
+	sys := laminar.NewSystem()
+	shell, err := sys.Login("unitbench")
+	if err != nil {
+		return UnitCosts{}, err
+	}
+	_, th, err := sys.LaunchVM(shell)
+	if err != nil {
+		return UnitCosts{}, err
+	}
+	tag, err := th.CreateTag()
+	if err != nil {
+		return UnitCosts{}, err
+	}
+	labels := laminar.Labels{S: laminar.NewLabel(tag)}
+	const n = 20000
+
+	u := UnitCosts{}
+	d := medianTime(3, func() {
+		for i := 0; i < n; i++ {
+			th.Secure(labels, laminar.EmptyCapSet, func(r *laminar.Region) {}, nil)
+		}
+	})
+	u.RegionNs = float64(d.Nanoseconds()) / n
+
+	var obj *laminar.Object
+	th.Secure(labels, laminar.EmptyCapSet, func(r *laminar.Region) {
+		obj = r.Alloc(nil)
+		r.Set(obj, "f", 1)
+		d := medianTime(3, func() {
+			for i := 0; i < n; i++ {
+				r.Get(obj, "f")
+			}
+		})
+		raw := medianTime(3, func() {
+			for i := 0; i < n; i++ {
+				obj.RawGet("f")
+			}
+		})
+		u.BarrierNs = float64(d.Nanoseconds()-raw.Nanoseconds()) / n
+
+		da := medianTime(3, func() {
+			for i := 0; i < n; i++ {
+				r.Alloc(nil)
+			}
+		})
+		rawAlloc := medianTime(3, func() {
+			for i := 0; i < n; i++ {
+				laminar.NewObject()
+			}
+		})
+		u.AllocNs = float64(da.Nanoseconds()-rawAlloc.Nanoseconds()) / n
+	}, nil)
+	if u.BarrierNs < 0 {
+		u.BarrierNs = 0
+	}
+	if u.AllocNs < 0 {
+		u.AllocNs = 0
+	}
+	return u, nil
+}
+
+// appDriver runs one case study's secured and unsecured variants.
+type appDriver struct {
+	name      string
+	secured   func() (*rt.Stats, time.Duration, error)
+	unsecured func() (time.Duration, error)
+}
+
+// Apps runs all four case studies at the given scale factor (1 = a quick
+// run, larger = closer to the paper's workloads: 15×15 full games, 1,000
+// meetings, thousands of chat commands).
+func Apps(scale int) (*AppsReport, error) {
+	units, err := MeasureUnitCosts()
+	if err != nil {
+		return nil, err
+	}
+	drivers := []appDriver{
+		gradesheetDriver(200 * scale),
+		battleshipDriver(scale),
+		calendarDriver(100 * scale),
+		freecsDriver(200 * scale),
+	}
+	rep := &AppsReport{Units: units}
+	for _, d := range drivers {
+		un, err := d.unsecured()
+		if err != nil {
+			return nil, fmt.Errorf("%s unsecured: %w", d.name, err)
+		}
+		stats, sec, err := d.secured()
+		if err != nil {
+			return nil, fmt.Errorf("%s secured: %w", d.name, err)
+		}
+		row := AppRow{
+			Name:        d.name,
+			Unsecured:   un,
+			Secured:     sec,
+			OverheadPct: pct(sec, un),
+			Regions:     stats.RegionsEntered.Load(),
+			Allocs:      stats.AllocBarriers.Load(),
+			RWBarriers:  stats.ReadBarriers.Load() + stats.WriteBarriers.Load(),
+			DynChecks:   stats.DynamicChecks.Load(),
+		}
+		if sec > 0 {
+			row.PctInSR = float64(stats.RegionNanos.Load()) / float64(sec.Nanoseconds()) * 100
+			if row.PctInSR > 100 {
+				row.PctInSR = 100
+			}
+		}
+		row.StartEndNs = int64(float64(row.Regions) * units.RegionNs)
+		row.AllocNs = int64(float64(row.Allocs) * units.AllocNs)
+		row.BarrierNs = int64(float64(row.RWBarriers) * units.BarrierNs)
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func gradesheetDriver(queries int) appDriver {
+	return appDriver{
+		name: "GradeSheet",
+		secured: func() (*rt.Stats, time.Duration, error) {
+			s, err := gradesheet.New(laminar.NewSystem(), 16, 8)
+			if err != nil {
+				return nil, 0, err
+			}
+			w := gradesheet.NewWorkload(1)
+			w.RunSecured(s, 16) // warm-up
+			s.VM().Stats().Reset()
+			d := timeIt(func() { w.RunSecured(s, queries) })
+			return s.VM().Stats(), d, nil
+		},
+		unsecured: func() (time.Duration, error) {
+			u := gradesheet.NewUnsecured(16, 8)
+			w := gradesheet.NewWorkload(1)
+			w.RunUnsecured(u, 16)
+			return timeIt(func() { w.RunUnsecured(u, queries) }), nil
+		},
+	}
+}
+
+func battleshipDriver(games int) appDriver {
+	return appDriver{
+		name: "Battleship",
+		secured: func() (*rt.Stats, time.Duration, error) {
+			agg := &rt.Stats{}
+			var total time.Duration
+			for g := 0; g < games; g++ {
+				game, err := battleship.NewGame(laminar.NewSystem(), int64(g+1))
+				if err != nil {
+					return nil, 0, err
+				}
+				stats := game.A.VMStats()
+				stats.Reset()
+				var perr error
+				total += timeIt(func() { _, perr = game.Play() })
+				if perr != nil {
+					return nil, 0, perr
+				}
+				agg.RegionsEntered.Add(stats.RegionsEntered.Load())
+				agg.ReadBarriers.Add(stats.ReadBarriers.Load())
+				agg.WriteBarriers.Add(stats.WriteBarriers.Load())
+				agg.AllocBarriers.Add(stats.AllocBarriers.Load())
+				agg.DynamicChecks.Add(stats.DynamicChecks.Load())
+				agg.RegionNanos.Add(stats.RegionNanos.Load())
+			}
+			return agg, total, nil
+		},
+		unsecured: func() (time.Duration, error) {
+			var total time.Duration
+			for g := 0; g < games; g++ {
+				game := battleship.NewUnsecuredGame(int64(g + 1))
+				total += timeIt(func() { game.Play() })
+			}
+			return total, nil
+		},
+	}
+}
+
+func calendarDriver(meetings int) appDriver {
+	return appDriver{
+		name: "Calendar",
+		secured: func() (*rt.Stats, time.Duration, error) {
+			s, err := calendar.New(laminar.NewSystem())
+			if err != nil {
+				return nil, 0, err
+			}
+			s.VM().Stats().Reset()
+			var serr error
+			d := timeIt(func() {
+				for i := 0; i < meetings; i++ {
+					if _, err := s.ScheduleMeeting(); err != nil {
+						if err == calendar.ErrNoSlot {
+							if err := s.ResetAlice(); err != nil {
+								serr = err
+								return
+							}
+							continue
+						}
+						serr = err
+						return
+					}
+				}
+			})
+			return s.VM().Stats(), d, serr
+		},
+		unsecured: func() (time.Duration, error) {
+			u, err := calendar.NewUnsecured(laminar.NewSystem())
+			if err != nil {
+				return 0, err
+			}
+			var serr error
+			d := timeIt(func() {
+				for i := 0; i < meetings; i++ {
+					if _, err := u.ScheduleMeeting(); err != nil {
+						if err == calendar.ErrNoSlot {
+							u.ResetAlice()
+							continue
+						}
+						serr = err
+						return
+					}
+				}
+			})
+			return d, serr
+		},
+	}
+}
+
+func freecsDriver(users int) appDriver {
+	return appDriver{
+		name: "FreeCS",
+		secured: func() (*rt.Stats, time.Duration, error) {
+			s, err := freecs.NewServer(laminar.NewSystem())
+			if err != nil {
+				return nil, 0, err
+			}
+			s.VM().Stats().Reset()
+			var serr error
+			d := timeIt(func() { _, serr = freecs.RunWorkload(s, users) })
+			return s.VM().Stats(), d, serr
+		},
+		unsecured: func() (time.Duration, error) {
+			s := freecs.NewUnsecuredServer()
+			var serr error
+			d := timeIt(func() { _, serr = freecs.RunUnsecuredWorkload(s, users) })
+			return d, serr
+		},
+	}
+}
+
+// Format renders Table 3's measured columns and Figure 9.
+func (r *AppsReport) Format() string {
+	var b strings.Builder
+	b.WriteString(header("Table 3 (measured): fraction of time in security regions"))
+	fmt.Fprintf(&b, "%-12s %10s %12s\n", "app", "%in SR", "paper")
+	paper := map[string]string{"GradeSheet": "6%", "Battleship": "54%", "Calendar": "1%", "FreeCS": "<1%"}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %12s\n", row.Name, row.PctInSR, paper[row.Name])
+	}
+	b.WriteString("\n")
+	b.WriteString(header("Figure 9: overhead of the Laminar-secured applications"))
+	fmt.Fprintf(&b, "%-12s %12s %12s %9s | %11s %11s %11s\n",
+		"app", "unsecured", "secured", "overhead", "start/endSR", "alloc barr", "rw barriers")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12s %12s %8.1f%% | %11s %11s %11s\n",
+			row.Name, fmtDur(row.Unsecured), fmtDur(row.Secured), row.OverheadPct,
+			fmtDur(time.Duration(row.StartEndNs)),
+			fmtDur(time.Duration(row.AllocNs)),
+			fmtDur(time.Duration(row.BarrierNs)))
+	}
+	fmt.Fprintf(&b, "\nunit costs: region %0.0fns, rw barrier %0.1fns, alloc barrier %0.1fns\n",
+		r.Units.RegionNs, r.Units.BarrierNs, r.Units.AllocNs)
+	b.WriteString("\npaper: GradeSheet ≈7%, Battleship ≈56%, Calendar ≈14%, FreeCS <1%;\n" +
+		"overhead tracks time spent inside security regions.\n")
+	return b.String()
+}

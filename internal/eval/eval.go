@@ -1,0 +1,65 @@
+// Package eval is the evaluation harness: one entry point per table and
+// figure of the Laminar paper (§6–§7), each returning structured results
+// plus a paper-style text rendering. cmd/laminar-bench prints them;
+// bench_test.go wraps them in testing.B; EXPERIMENTS.md records a run.
+//
+// Absolute numbers come from a simulated kernel and an interpreted
+// MiniJVM, so they are not comparable to the paper's wall-clock values;
+// the reproduced quantity is the *shape*: which configuration wins, by
+// roughly what factor, and where the costs sit.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// timeIt runs f once and returns its duration.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// median of several trials of f.
+func medianTime(trials int, f func()) time.Duration {
+	ds := make([]time.Duration, trials)
+	for i := range ds {
+		ds[i] = timeIt(f)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[trials/2]
+}
+
+// minTime takes the fastest of several trials — lmbench's strategy, and
+// the right estimator when the quantity of interest is the code's cost
+// floor rather than system noise.
+func minTime(trials int, f func()) time.Duration {
+	best := timeIt(f)
+	for i := 1; i < trials; i++ {
+		if d := timeIt(f); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// pct returns (a-b)/b in percent.
+func pct(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (float64(a) - float64(b)) / float64(b) * 100
+}
+
+// header renders a table title with a rule.
+func header(title string) string {
+	return title + "\n" + strings.Repeat("-", len(title)) + "\n"
+}
+
+// fmtDur renders a duration in milliseconds.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%8.2fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"laminar/internal/dacapo"
+	"laminar/internal/jvm"
+)
+
+// JVMRow is one benchmark's result in the JVM-overhead experiment (§6.1's
+// figure: DaCapo + pseudojbb under no/static/dynamic barriers).
+type JVMRow struct {
+	Name       string
+	Base       time.Duration
+	Static     time.Duration
+	Dynamic    time.Duration
+	StaticPct  float64
+	DynamicPct float64
+}
+
+// JVMOverheadReport reproduces the §6.1 barrier-overhead figure.
+type JVMOverheadReport struct {
+	Rows       []JVMRow
+	GeoStatic  float64 // average static overhead (%)
+	GeoDynamic float64 // average dynamic overhead (%)
+	Optimized  bool
+}
+
+// JVMOverhead measures every workload for iters loop iterations, taking
+// the median of trials runs per configuration — the paper's methodology
+// (second iteration, compilation excluded: our measurement calls run once
+// to force JIT compilation before timing).
+func JVMOverhead(iters, trials int, optimize bool) (*JVMOverheadReport, error) {
+	rep := &JVMOverheadReport{Optimized: optimize}
+	modes := []jvm.BarrierMode{jvm.BarrierNone, jvm.BarrierStatic, jvm.BarrierDynamic}
+	sumS, sumD := 0.0, 0.0
+	for _, m := range dacapo.Workloads {
+		// Build all three machines up front and interleave the timing
+		// trials across configurations, so slow drift (frequency scaling,
+		// background load) hits every mode equally; keep the per-mode
+		// minimum, lmbench-style.
+		machines := make([]*jvm.Machine, len(modes))
+		threads := make([]*jvm.Thread, len(modes))
+		for mi, mode := range modes {
+			prog, err := dacapo.Build(m)
+			if err != nil {
+				return nil, err
+			}
+			mc, err := jvm.NewMachine(prog, jvm.CompileOptions{Mode: mode, Optimize: optimize})
+			if err != nil {
+				return nil, err
+			}
+			th := mc.NewThread()
+			// Warm-up run compiles the method (first iteration in the
+			// paper's methodology).
+			if _, err := mc.Call(th, "run", jvm.IntV(8)); err != nil {
+				return nil, err
+			}
+			machines[mi] = mc
+			threads[mi] = th
+		}
+		var times [3]time.Duration
+		for trial := 0; trial < trials; trial++ {
+			for mi := range modes {
+				d := timeIt(func() {
+					if _, err := machines[mi].Call(threads[mi], "run", jvm.IntV(int64(iters))); err != nil {
+						panic(err)
+					}
+				})
+				if trial == 0 || d < times[mi] {
+					times[mi] = d
+				}
+			}
+		}
+		row := JVMRow{
+			Name: m.Name, Base: times[0], Static: times[1], Dynamic: times[2],
+			StaticPct:  pct(times[1], times[0]),
+			DynamicPct: pct(times[2], times[0]),
+		}
+		sumS += row.StaticPct
+		sumD += row.DynamicPct
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.GeoStatic = sumS / float64(len(rep.Rows))
+	rep.GeoDynamic = sumD / float64(len(rep.Rows))
+	return rep, nil
+}
+
+// Format renders the figure as text.
+func (r *JVMOverheadReport) Format() string {
+	var b strings.Builder
+	title := "JVM overhead on programs without security regions (§6.1 figure)"
+	if r.Optimized {
+		title += " [redundant-barrier elimination ON]"
+	}
+	b.WriteString(header(title))
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %9s %9s\n",
+		"benchmark", "base", "static", "dynamic", "static%", "dynamic%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12s %12s %12s %8.1f%% %8.1f%%\n",
+			row.Name, fmtDur(row.Base), fmtDur(row.Static), fmtDur(row.Dynamic),
+			row.StaticPct, row.DynamicPct)
+	}
+	fmt.Fprintf(&b, "%-12s %38s %8.1f%% %8.1f%%\n", "average", "", r.GeoStatic, r.GeoDynamic)
+	fmt.Fprintf(&b, "\npaper: static ≈ 6%% avg, dynamic ≈ 17%% avg — dynamic ≈ 3× static.\n")
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"laminar/internal/dacapo"
+	"laminar/internal/jvm"
+)
+
+// RegionDensityRow is one point of the overhead-vs-density curve.
+type RegionDensityRow struct {
+	Name      string
+	PctInside int
+	Base      time.Duration // BarrierNone
+	Secured   time.Duration // BarrierStatic
+	Overhead  float64
+}
+
+// RegionDensityReport measures how the cost of DIFC enforcement scales
+// with the fraction of work executed inside security regions — the §4.3
+// claim that regions keep overhead proportional to the security-relevant
+// share of the program.
+type RegionDensityReport struct {
+	Rows []RegionDensityRow
+}
+
+// RegionDensity runs the sweep.
+func RegionDensity(iters, trials int) (*RegionDensityReport, error) {
+	rep := &RegionDensityReport{}
+	for _, pt := range dacapo.RegionSweep() {
+		var times [2]time.Duration
+		machines := make([]*jvm.Machine, 2)
+		threads := make([]*jvm.Thread, 2)
+		for mi, mode := range []jvm.BarrierMode{jvm.BarrierNone, jvm.BarrierStatic} {
+			prog, err := dacapo.BuildRegionSweep(pt)
+			if err != nil {
+				return nil, err
+			}
+			mc, err := jvm.NewMachine(prog, jvm.CompileOptions{Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			th := mc.NewThread()
+			if _, err := mc.Call(th, "run", jvm.IntV(4)); err != nil {
+				return nil, err
+			}
+			machines[mi] = mc
+			threads[mi] = th
+		}
+		for trial := 0; trial < trials; trial++ {
+			for mi := range machines {
+				d := timeIt(func() {
+					if _, err := machines[mi].Call(threads[mi], "run", jvm.IntV(int64(iters))); err != nil {
+						panic(err)
+					}
+				})
+				if trial == 0 || d < times[mi] {
+					times[mi] = d
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, RegionDensityRow{
+			Name:      pt.Name,
+			PctInside: pt.PctInside,
+			Base:      times[0],
+			Secured:   times[1],
+			Overhead:  pct(times[1], times[0]),
+		})
+	}
+	return rep, nil
+}
+
+// Format renders the curve.
+func (r *RegionDensityReport) Format() string {
+	var b strings.Builder
+	b.WriteString(header("Overhead vs fraction of work inside security regions (§4.3 claim)"))
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s\n", "density", "base", "secured", "overhead")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12s %12s %9.1f%%\n",
+			row.Name, fmtDur(row.Base), fmtDur(row.Secured), row.Overhead)
+	}
+	b.WriteString("\noverhead should grow with the in-region share: DIFC enforcement\n" +
+		"costs are confined to the code that touches labeled data.\n")
+	return b.String()
+}

@@ -1,0 +1,544 @@
+package jvm
+
+import "fmt"
+
+// BarrierMode selects the compiler's barrier strategy (§5.1, §6.1).
+type BarrierMode int
+
+// Barrier modes.
+const (
+	// BarrierNone is the unmodified-VM baseline: no barriers, no labels.
+	BarrierNone BarrierMode = iota
+	// BarrierStatic compiles barriers whose in/out-of-region context is
+	// known at compile time, cloning methods reachable from both contexts
+	// (the production design; also the cost of the paper's prototype when
+	// every method is reached from one context).
+	BarrierStatic
+	// BarrierDynamic emits barriers that test the thread's context at run
+	// time, for methods called both inside and outside regions without
+	// cloning. ~3× the static barrier cost in the paper.
+	BarrierDynamic
+)
+
+// String names the mode.
+func (m BarrierMode) String() string {
+	switch m {
+	case BarrierNone:
+		return "none"
+	case BarrierStatic:
+		return "static"
+	case BarrierDynamic:
+		return "dynamic"
+	default:
+		return "?"
+	}
+}
+
+// CloneMode selects how BarrierStatic handles methods invoked from both
+// inside and outside security regions.
+type CloneMode int
+
+// Clone modes.
+const (
+	// CloneBoth compiles a variant per context on demand (production
+	// design, method cloning; §5.1).
+	CloneBoth CloneMode = iota
+	// FirstUse freezes the context observed at a method's first
+	// execution, as the paper's prototype does; invoking the method from
+	// the other context later is an error.
+	FirstUse
+)
+
+// CompileOptions configures the baseline compiler.
+type CompileOptions struct {
+	Mode BarrierMode
+	// Optimize enables the redundant-barrier-elimination dataflow pass.
+	Optimize bool
+	// Inline splices small leaf methods into callers before barrier
+	// insertion, widening the optimizer's intraprocedural scope (§5.1).
+	Inline bool
+	// Clone selects static-mode handling of dual-context methods.
+	Clone CloneMode
+	// HotThreshold enables tiered recompilation: a method invoked this
+	// many times is recompiled at the higher optimization level (with
+	// redundant-barrier elimination and inlining), reusing its original
+	// barrier-context decision — "subsequent recompilation at higher
+	// optimization levels reuses this decision" (§5.1). 0 disables.
+	HotThreshold int
+}
+
+// compiledMethod is an executable method variant.
+type compiledMethod struct {
+	method   *Method
+	code     []Instr
+	catch    []Instr
+	maxStack int
+	nLocal   int
+	inRegion bool
+
+	// Tiered-recompilation state: invocation count and whether this
+	// variant is already the optimized tier.
+	invocations int
+	optimized   bool
+}
+
+// compileStats counts compiler work, feeding the compilation-time
+// experiment in §6.1.
+type compileStats struct {
+	methodsCompiled int
+	instrsIn        int
+	instrsOut       int
+	barriersEmitted int
+	barriersElided  int
+	inlinedCalls    int
+	instrsFolded    int
+}
+
+// accessInfo describes a heap-access opcode's object operand depth at
+// barrier time (before the access pops anything), or -1 for non-access
+// ops.
+func accessDepth(op Op) int {
+	switch op {
+	case OpGetField, OpArrayLen:
+		return 0
+	case OpPutField, OpALoad:
+		return 1
+	case OpAStore:
+		return 2
+	default:
+		return -1
+	}
+}
+
+func isRead(op Op) bool  { return op == OpGetField || op == OpALoad || op == OpArrayLen }
+func isWrite(op Op) bool { return op == OpPutField || op == OpAStore }
+
+// compile produces the executable variant of m for the given context.
+// Secure-method bodies are always "inside" — the compiler knows a region
+// method's context statically even in dynamic mode.
+func (p *Program) compile(m *Method, opts CompileOptions, inRegion bool, st *compileStats) *compiledMethod {
+	st.methodsCompiled++
+	st.instrsIn += len(m.Code)
+	cm := &compiledMethod{method: m, inRegion: inRegion, maxStack: m.maxStack, nLocal: m.NLocal}
+	src := m.Code
+	if opts.Inline {
+		src, cm.nLocal = p.inlineCalls(m, st)
+		// maxStack is a capacity hint for the frame; inlined bodies stack
+		// on top of the caller's operands.
+		cm.maxStack = m.maxStack + 8
+	}
+	if opts.Mode == BarrierNone {
+		// The unmodified baseline still runs the codegen pass (copy +
+		// branch fixup) with zero insertions, so compile-time ratios
+		// compare barrier work against a real compiler pass rather than
+		// against a no-op.
+		empty := barrierNeed{
+			access: make([]bool, len(src)),
+			static: make([]bool, len(src)),
+			alloc:  make([]bool, len(src)),
+		}
+		cm.code = p.insertBarriers(src, empty, false, false, st)
+		if m.Secure != nil && m.Secure.Catch != nil {
+			emptyC := barrierNeed{
+				access: make([]bool, len(m.Secure.Catch)),
+				static: make([]bool, len(m.Secure.Catch)),
+				alloc:  make([]bool, len(m.Secure.Catch)),
+			}
+			cm.catch = p.insertBarriers(m.Secure.Catch, emptyC, false, false, st)
+		}
+		st.instrsOut += len(cm.code) + len(cm.catch)
+		return cm
+	}
+	dynamic := opts.Mode == BarrierDynamic && m.Secure == nil
+	if opts.Optimize {
+		var folded int
+		src, folded = peephole(src)
+		st.instrsFolded += folded
+	}
+	need := allBarriers(src)
+	if opts.Optimize {
+		before := countBarriers(need)
+		need = eliminateRedundant(src, need)
+		st.barriersElided += before - countBarriers(need)
+	}
+	cm.code = p.insertBarriers(src, need, inRegion, dynamic, st)
+	if dynamic || opts.Mode == BarrierDynamic {
+		cm.maxStack++ // OpInRegion pushes a temporary
+	}
+	if m.Secure != nil && m.Secure.Catch != nil {
+		// Catch blocks run with the region's labels in force.
+		catchNeed := allBarriers(m.Secure.Catch)
+		if opts.Optimize {
+			catchNeed = eliminateRedundant(m.Secure.Catch, catchNeed)
+		}
+		cm.catch = p.insertBarriers(m.Secure.Catch, catchNeed, true, false, st)
+	}
+	if err := p.validateCompiled(m, cm.code); err != nil {
+		panic(err) // compiler bug, not a program error
+	}
+	if cm.catch != nil {
+		if err := p.validateCompiled(m, cm.catch); err != nil {
+			panic(err)
+		}
+	}
+	st.instrsOut += len(cm.code) + len(cm.catch)
+	return cm
+}
+
+// barrierNeed records which source sites keep their barriers.
+type barrierNeed struct {
+	access []bool // heap accesses (indexed by pc)
+	static []bool // static variable accesses
+	alloc  []bool // allocation labeling barriers
+}
+
+func countBarriers(n barrierNeed) int {
+	c := 0
+	for _, b := range n.access {
+		if b {
+			c++
+		}
+	}
+	for _, b := range n.static {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func allBarriers(code []Instr) barrierNeed {
+	n := barrierNeed{
+		access: make([]bool, len(code)),
+		static: make([]bool, len(code)),
+		alloc:  make([]bool, len(code)),
+	}
+	for pc, in := range code {
+		if accessDepth(in.Op) >= 0 {
+			n.access[pc] = true
+		}
+		if in.Op == OpGetStatic || in.Op == OpPutStatic {
+			n.static[pc] = true
+		}
+		if in.Op == OpNew || in.Op == OpNewArray {
+			n.alloc[pc] = true
+		}
+	}
+	return n
+}
+
+// insertLen returns how many instructions the barrier sequence for a
+// source instruction occupies, excluding the instruction itself.
+func insertLen(in Instr, need barrierNeed, pc int, dynamic bool) int {
+	switch {
+	case accessDepth(in.Op) >= 0 && need.access[pc]:
+		if dynamic {
+			// inregion, barrier.sel — the select barrier consumes the
+			// context flag and applies the matching check, modeling the
+			// paper's inlined conditional barrier.
+			return 2
+		}
+		return 1
+	case (in.Op == OpGetStatic || in.Op == OpPutStatic) && need.static[pc]:
+		if dynamic {
+			// inregion, jmpifnot(skip), barrier.static
+			return 3
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// allocSuffixLen returns the instruction count emitted after an
+// allocation for its labeling barrier.
+func allocSuffixLen(in Instr, need barrierNeed, pc int, dynamic, inRegion bool) int {
+	if (in.Op != OpNew && in.Op != OpNewArray) || !need.alloc[pc] {
+		return 0
+	}
+	if dynamic {
+		// inregion, jmpifnot(skip), barrier.alloc
+		return 3
+	}
+	if inRegion {
+		return 1
+	}
+	return 0
+}
+
+// validateCompiled is the compiler's downstream pass: an abstract stack
+// simulation over the *emitted* code (barrier opcodes included) asserting
+// the insertion pass preserved stack discipline and branch targets. Its
+// cost is proportional to output size, so barrier expansion shows up in
+// compilation time exactly as inlining bloat does in the paper's JIT
+// (§6.1: "we instruct the compiler to inline the barriers aggressively,
+// which bloats the code and slows downstream optimizations").
+func (p *Program) validateCompiled(m *Method, code []Instr) error {
+	const unvisited = -1
+	depth := make([]int, len(code))
+	for i := range depth {
+		depth[i] = unvisited
+	}
+	work := make([]int, 0, 16)
+	work = append(work, 0)
+	depth[0] = 0
+	flow := func(from, to, d int) error {
+		if to < 0 || to >= len(code) {
+			return fmt.Errorf("jvm: compiled %s: branch target %d out of range (from %d)", m.Name, to, from)
+		}
+		if depth[to] == unvisited {
+			depth[to] = d
+			work = append(work, to)
+		} else if depth[to] != d {
+			return fmt.Errorf("jvm: compiled %s: inconsistent stack depth at %d", m.Name, to)
+		}
+		return nil
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := code[pc]
+		d := depth[pc]
+		var pops, pushes int
+		switch in.Op {
+		case OpBarrierRead, OpBarrierWrite, OpBarrierOutR, OpBarrierOutW, OpBarrierAlloc:
+			if d <= int(in.A) {
+				return fmt.Errorf("jvm: compiled %s: barrier at %d peeks depth %d with stack %d", m.Name, pc, in.A, d)
+			}
+		case OpBarrierSelR, OpBarrierSelW:
+			pops = 1 // consumes the OpInRegion flag
+			if d-1 <= int(in.A) {
+				return fmt.Errorf("jvm: compiled %s: select barrier at %d peeks depth %d with stack %d", m.Name, pc, in.A, d-1)
+			}
+		case OpBarrierStaticR, OpBarrierStaticW:
+			// no stack effect
+		case OpInRegion:
+			pushes = 1
+		case OpInvoke:
+			callee := p.Methods[in.A]
+			pops = callee.NArgs
+			if callee.returnsValue() {
+				pushes = 1
+			}
+		default:
+			pops, pushes = stackEffect(in.Op)
+		}
+		if d < pops {
+			return fmt.Errorf("jvm: compiled %s: stack underflow at %d", m.Name, pc)
+		}
+		nd := d - pops + pushes
+		switch {
+		case in.Op == OpReturn || in.Op == OpReturnVal:
+		case in.Op == OpJmp:
+			if err := flow(pc, int(in.A), nd); err != nil {
+				return err
+			}
+		case in.Op == OpJmpIf || in.Op == OpJmpIfNot:
+			if err := flow(pc, int(in.A), nd); err != nil {
+				return err
+			}
+			if err := flow(pc, pc+1, nd); err != nil {
+				return err
+			}
+		default:
+			if pc+1 >= len(code) {
+				return fmt.Errorf("jvm: compiled %s: falls off end", m.Name)
+			}
+			if err := flow(pc, pc+1, nd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// insertBarriers rewrites code with barrier sequences and remaps branch
+// targets — the address-relocation pass every barrier-inserting compiler
+// needs.
+func (p *Program) insertBarriers(code []Instr, need barrierNeed, inRegion, dynamic bool, st *compileStats) []Instr {
+	// Pass 1: compute the new position of every source instruction.
+	newPos := make([]int32, len(code)+1)
+	pos := int32(0)
+	for pc, in := range code {
+		newPos[pc] = pos + int32(insertLen(in, need, pc, dynamic))
+		pos = newPos[pc] + 1 + int32(allocSuffixLen(in, need, pc, dynamic, inRegion))
+	}
+	newPos[len(code)] = pos
+
+	// Pass 2: emit.
+	out := make([]Instr, 0, pos)
+	for pc, in := range code {
+		depth := accessDepth(in.Op)
+		switch {
+		case depth >= 0 && need.access[pc]:
+			read := isRead(in.Op)
+			if dynamic {
+				sel := OpBarrierSelR
+				if !read {
+					sel = OpBarrierSelW
+				}
+				out = append(out,
+					Instr{Op: OpInRegion},
+					Instr{Op: sel, A: int32(depth)},
+				)
+			} else if inRegion {
+				op := OpBarrierRead
+				if !read {
+					op = OpBarrierWrite
+				}
+				out = append(out, Instr{Op: op, A: int32(depth)})
+			} else {
+				op := OpBarrierOutR
+				if !read {
+					op = OpBarrierOutW
+				}
+				out = append(out, Instr{Op: op, A: int32(depth)})
+			}
+			st.barriersEmitted++
+		case (in.Op == OpGetStatic || in.Op == OpPutStatic) && need.static[pc]:
+			op := OpBarrierStaticR
+			if in.Op == OpPutStatic {
+				op = OpBarrierStaticW
+			}
+			if dynamic {
+				base := int32(len(out))
+				out = append(out,
+					Instr{Op: OpInRegion},
+					Instr{Op: OpJmpIfNot, A: base + 3},
+					Instr{Op: op},
+				)
+				st.barriersEmitted++
+			} else if inRegion {
+				out = append(out, Instr{Op: op})
+				st.barriersEmitted++
+			}
+			// Outside regions statics are unrestricted: no barrier.
+		}
+
+		// The instruction itself, with branch targets remapped.
+		emitted := in
+		if in.Op.isJump() {
+			emitted.A = newPos[in.A]
+		}
+		out = append(out, emitted)
+
+		// Allocation labeling runs after the object is on the stack.
+		if (in.Op == OpNew || in.Op == OpNewArray) && need.alloc[pc] {
+			if dynamic {
+				base := int32(len(out))
+				out = append(out,
+					Instr{Op: OpInRegion},
+					Instr{Op: OpJmpIfNot, A: base + 3},
+					Instr{Op: OpBarrierAlloc},
+				)
+				st.barriersEmitted++
+			} else if inRegion {
+				out = append(out, Instr{Op: OpBarrierAlloc})
+				st.barriersEmitted++
+			}
+		}
+	}
+	return out
+}
+
+// variantFor returns (compiling on demand) the executable variant of m for
+// the given context, honoring the clone mode. It is called by the
+// interpreter at invoke time, mirroring JIT-on-first-execution. With
+// HotThreshold set, hot variants are recompiled at the optimizing tier
+// while keeping their original barrier-context decision.
+func (p *Program) variantFor(m *Method, opts CompileOptions, inRegion bool, st *compileStats) (*compiledMethod, error) {
+	if m.Secure != nil {
+		inRegion = true // region bodies are always inside
+	}
+	if opts.Mode == BarrierStatic && opts.Clone == FirstUse && m.Secure == nil {
+		if m.firstUse == nil {
+			m.firstUse = p.compile(m, opts, inRegion, st)
+		} else if m.firstUse.inRegion != inRegion {
+			return nil, fmt.Errorf("jvm: method %s compiled for inRegion=%v but invoked with inRegion=%v (first-execution-context prototype limitation, §5.1)", m.Name, m.firstUse.inRegion, inRegion)
+		}
+		return p.maybeRecompileHot(m, &m.firstUse, opts, st), nil
+	}
+	idx := 0
+	if inRegion {
+		idx = 1
+	}
+	if opts.Mode == BarrierDynamic && m.Secure == nil {
+		idx = 0 // single dynamic variant
+	}
+	if m.variants[idx] == nil {
+		m.variants[idx] = p.compile(m, opts, inRegion, st)
+	}
+	return p.maybeRecompileHot(m, &m.variants[idx], opts, st), nil
+}
+
+// maybeRecompileHot bumps the variant's invocation count and, past the
+// threshold, replaces it with an optimized recompilation that reuses the
+// original in/out-of-region decision.
+func (p *Program) maybeRecompileHot(m *Method, slot **compiledMethod, opts CompileOptions, st *compileStats) *compiledMethod {
+	cm := *slot
+	if opts.HotThreshold <= 0 || cm.optimized {
+		return cm
+	}
+	cm.invocations++
+	if cm.invocations < opts.HotThreshold {
+		return cm
+	}
+	hot := opts
+	hot.Optimize = true
+	hot.Inline = true
+	ncm := p.compile(m, hot, cm.inRegion, st)
+	ncm.optimized = true
+	*slot = ncm
+	return ncm
+}
+
+// ResetCompilation discards all compiled variants (between benchmark
+// configurations).
+func (p *Program) ResetCompilation() {
+	for _, m := range p.Methods {
+		m.variants = [2]*compiledMethod{}
+		m.firstUse = nil
+	}
+}
+
+// CompileAll eagerly compiles every method (both variants for dual-context
+// static mode) and returns compiler work statistics — the §6.1
+// compilation-time experiment.
+func (p *Program) CompileAll(opts CompileOptions) (CompileReport, error) {
+	if err := p.Verify(); err != nil {
+		return CompileReport{}, err
+	}
+	st := &compileStats{}
+	for _, m := range p.Methods {
+		if m.Secure != nil || opts.Mode != BarrierStatic || opts.Clone == FirstUse {
+			if _, err := p.variantFor(m, opts, false, st); err != nil {
+				return CompileReport{}, err
+			}
+			continue
+		}
+		if _, err := p.variantFor(m, opts, false, st); err != nil {
+			return CompileReport{}, err
+		}
+		if _, err := p.variantFor(m, opts, true, st); err != nil {
+			return CompileReport{}, err
+		}
+	}
+	return CompileReport{
+		Methods:         st.methodsCompiled,
+		InstrsIn:        st.instrsIn,
+		InstrsOut:       st.instrsOut,
+		BarriersEmitted: st.barriersEmitted,
+		BarriersElided:  st.barriersElided,
+		InlinedCalls:    st.inlinedCalls,
+	}, nil
+}
+
+// CompileReport summarizes compiler work.
+type CompileReport struct {
+	Methods         int
+	InstrsIn        int
+	InstrsOut       int
+	BarriersEmitted int
+	BarriersElided  int
+	InlinedCalls    int
+}

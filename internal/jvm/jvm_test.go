@@ -1,0 +1,513 @@
+package jvm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+// buildProg assembles a program with helper methods used across tests.
+func method(name string, nargs, nlocal int, secure *SecureInfo, code []Instr) *Method {
+	return &Method{Name: name, NArgs: nargs, NLocal: nlocal, Code: code, Secure: secure}
+}
+
+func run(t *testing.T, p *Program, opts CompileOptions, name string, args ...Value) Value {
+	t.Helper()
+	mc, err := NewMachine(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mc.Call(mc.NewThread(), name, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestAsmLabels(t *testing.T) {
+	a := NewAsm()
+	a.Const(3).Store(0).
+		Label("loop").
+		Load(0).Const(0).Op(OpCmpLE).JmpIf("done").
+		Load(0).Const(1).Op(OpSub).Store(0).
+		Jmp("loop").
+		Label("done").
+		Load(0).Op(OpReturnVal)
+	code, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgram(0)
+	p.Add(method("countdown", 0, 1, nil, code))
+	if got := run(t, p, CompileOptions{}, "countdown"); got.Int() != 0 {
+		t.Errorf("countdown = %d", got.Int())
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	if _, err := NewAsm().Jmp("nowhere").Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	a := NewAsm().Label("x").Label("x")
+	if _, err := a.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	if _, err := NewAsm().Emit(OpBarrierRead, 0).Build(); err == nil {
+		t.Error("barrier opcode in source accepted")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	// f(a,b) = (a+b)*(a-b) % 7 with some negs thrown in
+	code := NewAsm().
+		Load(0).Load(1).Op(OpAdd).
+		Load(0).Load(1).Op(OpSub).
+		Op(OpMul).Const(7).Op(OpMod).Op(OpNeg).Op(OpNeg).
+		Op(OpReturnVal).MustBuild()
+	p := NewProgram(0)
+	p.Add(method("f", 2, 2, nil, code))
+	got := run(t, p, CompileOptions{}, "f", IntV(10), IntV(4))
+	if got.Int() != (10+4)*(10-4)%7 {
+		t.Errorf("f = %d", got.Int())
+	}
+}
+
+func TestFibonacciRecursive(t *testing.T) {
+	p := NewProgram(0)
+	fib := &Method{Name: "fib", NArgs: 1, NLocal: 1}
+	p.Add(fib)
+	fib.Code = NewAsm().
+		Load(0).Const(2).Op(OpCmpLT).JmpIf("base").
+		Load(0).Const(1).Op(OpSub).Invoke(fib).
+		Load(0).Const(2).Op(OpSub).Invoke(fib).
+		Op(OpAdd).Op(OpReturnVal).
+		Label("base").Load(0).Op(OpReturnVal).MustBuild()
+	if got := run(t, p, CompileOptions{}, "fib", IntV(10)); got.Int() != 55 {
+		t.Errorf("fib(10) = %d", got.Int())
+	}
+}
+
+func TestObjectsAndArrays(t *testing.T) {
+	// Build a 5-element array, fill with squares, sum via object field.
+	code := NewAsm().
+		Const(5).Emit(OpNewArray, 0).Store(0).
+		Const(0).Store(1). // i
+		Label("loop").
+		Load(1).Const(5).Op(OpCmpGE).JmpIf("sum").
+		Load(0).Load(1).Load(1).Load(1).Op(OpMul).Op(OpAStore).
+		Load(1).Const(1).Op(OpAdd).Store(1).
+		Jmp("loop").
+		Label("sum").
+		New(1).Store(2). // acc object with one field
+		Const(0).Store(1).
+		Label("loop2").
+		Load(1).Const(5).Op(OpCmpGE).JmpIf("done").
+		Load(2).
+		Load(2).GetField(0).
+		Load(0).Load(1).Op(OpALoad).
+		Op(OpAdd).PutField(0).
+		Load(1).Const(1).Op(OpAdd).Store(1).
+		Jmp("loop2").
+		Label("done").
+		Load(2).GetField(0).Op(OpReturnVal).MustBuild()
+	p := NewProgram(0)
+	p.Add(method("squares", 0, 3, nil, code))
+	want := int64(0 + 1 + 4 + 9 + 16)
+	for _, mode := range []BarrierMode{BarrierNone, BarrierStatic, BarrierDynamic} {
+		p.ResetCompilation()
+		if got := run(t, p, CompileOptions{Mode: mode}, "squares"); got.Int() != want {
+			t.Errorf("mode %v: squares = %d, want %d", mode, got.Int(), want)
+		}
+		p.ResetCompilation()
+		if got := run(t, p, CompileOptions{Mode: mode, Optimize: true}, "squares"); got.Int() != want {
+			t.Errorf("mode %v optimized: squares = %d, want %d", mode, got.Int(), want)
+		}
+	}
+}
+
+func TestStatics(t *testing.T) {
+	code := NewAsm().
+		Emit(OpGetStatic, 0).Const(1).Op(OpAdd).Emit(OpPutStatic, 0).
+		Emit(OpGetStatic, 0).Op(OpReturnVal).MustBuild()
+	p := NewProgram(1)
+	p.Add(method("inc", 0, 0, nil, code))
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mc.NewThread()
+	for i := 1; i <= 3; i++ {
+		v, err := mc.Call(th, "inc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int() != int64(i) {
+			t.Errorf("inc #%d = %d", i, v.Int())
+		}
+	}
+}
+
+func TestArrayLenAndDup(t *testing.T) {
+	code := NewAsm().
+		Const(7).Emit(OpNewArray, 0).
+		Op(OpDup).Op(OpArrayLen).
+		Op(OpReturnVal).MustBuild()
+	p := NewProgram(0)
+	p.Add(method("len", 0, 0, nil, code))
+	if got := run(t, p, CompileOptions{Mode: BarrierStatic}, "len"); got.Int() != 7 {
+		t.Errorf("len = %d", got.Int())
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		code []Instr
+		want string
+	}{
+		{"div zero", NewAsm().Const(1).Const(0).Op(OpDiv).Op(OpReturnVal).MustBuild(), "division by zero"},
+		{"mod zero", NewAsm().Const(1).Const(0).Op(OpMod).Op(OpReturnVal).MustBuild(), "division by zero"},
+		{"neg array", NewAsm().Const(-1).Emit(OpNewArray, 0).Op(OpPop).Op(OpReturn).MustBuild(), "negative array length"},
+		{"null deref", NewAsm().Const(0).GetField(0).Op(OpReturnVal).MustBuild(), "dereference"},
+	}
+	for _, c := range cases {
+		p := NewProgram(0)
+		p.Add(method("m", 0, 0, nil, c.code))
+		mc, err := NewMachine(p, CompileOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		_, err = mc.Call(mc.NewThread(), "m")
+		var te *TrapError
+		if !errors.As(err, &te) || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// secureProgram builds the canonical test program: a secure method that
+// allocates a labeled object, stores it to a static... no — statics in
+// secrecy regions are forbidden; it returns it via an unlabeled box object
+// passed as a parameter is also a write-down... The canonical shape: the
+// secure method writes labeled data into a labeled object reachable from
+// the parameter? For tests we mostly need: allocate labeled object inside
+// region, observe that outside access traps.
+func secureProgram(tag difc.Tag) (*Program, *Method, *Method) {
+	p := NewProgram(1)
+	labels := difc.Labels{S: difc.NewLabel(tag)}
+
+	// fill(box): box.f0 = new labeled obj with field 42.
+	fill := &Method{
+		Name: "fill", NArgs: 1, NLocal: 2,
+		Secure: &SecureInfo{Labels: labels, Caps: difc.EmptyCapSet},
+	}
+	p.Add(fill)
+	fill.Code = NewAsm().
+		New(1).Store(1).
+		Load(1).Const(42).PutField(0).
+		Load(0).Load(1).PutField(0). // box.f0 = secret (write barrier: box unlabeled!)
+		Op(OpReturn).MustBuild()
+
+	// main: box = new; fill(box); x = box.f0; return x.f0 (traps outside).
+	main := &Method{Name: "main", NArgs: 0, NLocal: 1}
+	p.Add(main)
+	main.Code = NewAsm().
+		New(1).Store(0).
+		Load(0).Invoke(fill).
+		Load(0).GetField(0).
+		GetField(0).
+		Op(OpReturnVal).MustBuild()
+	return p, fill, main
+}
+
+func TestSecureRegionViolationAndCatch(t *testing.T) {
+	tag := difc.Tag(1)
+	p, fill, _ := secureProgram(tag)
+	// fill writes a labeled reference into the unlabeled box: the write
+	// barrier must trap, transfer to catch, and suppress.
+	caught := NewAsm().Const(1).Emit(OpPutStatic, 0).Op(OpReturn)
+	// Catch writes a static -- but the region has secrecy labels, so THAT
+	// also traps and is suppressed. Use a field write on the box instead?
+	// that's the same violation. An empty catch suffices here.
+	_ = caught
+	fill.Secure.Catch = NewAsm().Op(OpReturn).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mc.NewThread()
+	// main then reads box.f0 (never assigned => null) and traps on null
+	// deref outside a region.
+	_, err = mc.Call(th, "main")
+	if err == nil {
+		t.Fatal("main should trap on null deref after suppressed violation")
+	}
+	if mc.Stats().Violations != 1 {
+		t.Errorf("violations = %d, want 1", mc.Stats().Violations)
+	}
+	if mc.Stats().RegionsEntered != 1 {
+		t.Errorf("regions = %d", mc.Stats().RegionsEntered)
+	}
+}
+
+func TestSecureRegionLabeledAllocAndOutsideAccess(t *testing.T) {
+	tag := difc.Tag(1)
+	p := NewProgram(0)
+	labels := difc.Labels{S: difc.NewLabel(tag)}
+	// leak(box): box has field 0; store labeled object into labeled slot
+	// is illegal; instead the secure method reads its own labeled object
+	// legally, then main tries to touch it from outside via the box...
+	// Simplest legal flow: the secure method allocates a labeled array
+	// and stores it in a LABELED box created by the same region.
+	mk := &Method{Name: "mk", NArgs: 1, NLocal: 2, Secure: &SecureInfo{Labels: labels}}
+	p.Add(mk)
+	// box is labeled (created by caller? caller is outside...). Let the
+	// secure region allocate and return through... regions return void.
+	// Use the parameter as an unlabeled holder of an int result obtained
+	// legally: region reads labeled obj, but writing to unlabeled box is
+	// illegal. So: region just allocates labeled obj and touches it; the
+	// violation-free path.
+	mk.Code = NewAsm().
+		New(1).Store(1).
+		Load(1).Const(7).PutField(0).
+		Load(1).GetField(0).Op(OpPop).
+		Op(OpReturn).MustBuild()
+	main := &Method{Name: "main", NArgs: 0, NLocal: 1}
+	p.Add(main)
+	main.Code = NewAsm().
+		New(1).Store(0).
+		Load(0).Invoke(mk).
+		Const(0).Op(OpReturnVal).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mc.Call(mc.NewThread(), "main")
+	if err != nil || v.Int() != 0 {
+		t.Fatalf("main = %v, %v", v, err)
+	}
+	if mc.Stats().BarrierChecks == 0 {
+		t.Error("no barrier checks recorded")
+	}
+}
+
+func TestBarrierNoneHasNoChecks(t *testing.T) {
+	tag := difc.Tag(1)
+	p, _, _ := secureProgram(tag)
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmodified VM: the "leak" just works and main returns 42.
+	v, err := mc.Call(mc.NewThread(), "main")
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("main = %v, %v", v, err)
+	}
+	if mc.Stats().BarrierChecks != 0 {
+		t.Errorf("barrier checks in none mode = %d", mc.Stats().BarrierChecks)
+	}
+}
+
+func TestDynamicBarriersBothContexts(t *testing.T) {
+	// A helper method that reads a field, called from inside and outside
+	// a region. Dynamic mode compiles it once.
+	p := NewProgram(0)
+	get := &Method{Name: "get", NArgs: 1, NLocal: 1}
+	p.Add(get)
+	get.Code = NewAsm().Load(0).GetField(0).Op(OpReturnVal).MustBuild()
+
+	sec := &Method{Name: "sec", NArgs: 1, NLocal: 1, Secure: &SecureInfo{}}
+	p.Add(sec)
+	sec.Code = NewAsm().Load(0).Invoke(get).Op(OpPop).Op(OpReturn).MustBuild()
+
+	main := &Method{Name: "main", NArgs: 0, NLocal: 1}
+	p.Add(main)
+	main.Code = NewAsm().
+		New(1).Store(0).
+		Load(0).Invoke(get).Op(OpPop). // outside
+		Load(0).Invoke(sec).           // inside (empty-label region)
+		Const(1).Op(OpReturnVal).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := mc.Call(mc.NewThread(), "main"); err != nil || v.Int() != 1 {
+		t.Fatalf("main = %v, %v", v, err)
+	}
+	if mc.Stats().ContextChecks == 0 {
+		t.Error("dynamic mode performed no context checks")
+	}
+	// Exactly one compiled variant of get.
+	rep := mc.CompileReport()
+	if rep.Methods != 3 {
+		t.Errorf("methods compiled = %d, want 3", rep.Methods)
+	}
+}
+
+func TestFirstUseModeFailsOnSecondContext(t *testing.T) {
+	p := NewProgram(0)
+	get := &Method{Name: "get", NArgs: 1, NLocal: 1}
+	p.Add(get)
+	get.Code = NewAsm().Load(0).GetField(0).Op(OpReturnVal).MustBuild()
+	sec := &Method{Name: "sec", NArgs: 1, NLocal: 1, Secure: &SecureInfo{}}
+	p.Add(sec)
+	sec.Code = NewAsm().Load(0).Invoke(get).Op(OpPop).Op(OpReturn).MustBuild()
+	main := &Method{Name: "main", NArgs: 0, NLocal: 1}
+	p.Add(main)
+	main.Code = NewAsm().
+		New(1).Store(0).
+		Load(0).Invoke(get).Op(OpPop).
+		Load(0).Invoke(sec).
+		Const(1).Op(OpReturnVal).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic, Clone: FirstUse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mc.Call(mc.NewThread(), "main")
+	if err == nil || !strings.Contains(err.Error(), "first-execution-context") {
+		t.Errorf("first-use dual context = %v", err)
+	}
+	// CloneBoth handles it.
+	p.ResetCompilation()
+	mc2, _ := NewMachine(p, CompileOptions{Mode: BarrierStatic, Clone: CloneBoth})
+	if v, err := mc2.Call(mc2.NewThread(), "main"); err != nil || v.Int() != 1 {
+		t.Errorf("clone mode main = %v, %v", v, err)
+	}
+	// And get has two variants.
+	if rep := mc2.CompileReport(); rep.Methods != 4 {
+		t.Errorf("clone mode compiled %d methods, want 4 (get×2, sec, main)", rep.Methods)
+	}
+}
+
+func TestRegionEntryRequiresCapsForNested(t *testing.T) {
+	// A secure region with label {a} invokes a nested secure region with
+	// label {} and no a- capability: must violate and suppress.
+	a := difc.Tag(3)
+	p := NewProgram(1)
+	inner := &Method{Name: "inner", NArgs: 0, NLocal: 1, Secure: &SecureInfo{}}
+	p.Add(inner)
+	inner.Code = NewAsm().Const(1).Emit(OpPutStatic, 0).Op(OpReturn).MustBuild()
+
+	outer := &Method{Name: "outer", NArgs: 0, NLocal: 1,
+		Secure: &SecureInfo{Labels: difc.Labels{S: difc.NewLabel(a)}}}
+	p.Add(outer)
+	outer.Code = NewAsm().Invoke(inner).Op(OpReturn).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Call(mc.NewThread(), "outer"); err != nil {
+		t.Fatalf("outer call = %v (violation should be suppressed at region boundary)", err)
+	}
+	// inner never ran: the static stayed zero.
+	if mc.Static(0).Int() != 0 {
+		t.Error("nested region ran despite missing declassification capability")
+	}
+	if mc.Stats().Violations == 0 {
+		t.Error("no violation recorded")
+	}
+}
+
+func TestNestedRegionWithCapability(t *testing.T) {
+	// Same shape but the outer region carries a-, so the nested empty
+	// region is a legal declassification boundary.
+	a := difc.Tag(3)
+	p := NewProgram(1)
+	inner := &Method{Name: "inner", NArgs: 0, NLocal: 1, Secure: &SecureInfo{
+		Caps: difc.EmptyCapSet.Grant(a, difc.CapMinus),
+	}}
+	p.Add(inner)
+	inner.Code = NewAsm().Const(1).Emit(OpPutStatic, 0).Op(OpReturn).MustBuild()
+	outer := &Method{Name: "outer", NArgs: 0, NLocal: 1,
+		Secure: &SecureInfo{
+			Labels: difc.Labels{S: difc.NewLabel(a)},
+			Caps:   difc.EmptyCapSet.Grant(a, difc.CapMinus),
+		}}
+	p.Add(outer)
+	outer.Code = NewAsm().Invoke(inner).Op(OpReturn).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Call(mc.NewThread(), "outer"); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Static(0).Int() != 1 {
+		t.Error("nested declassified region did not run")
+	}
+	if mc.Stats().Violations != 0 {
+		t.Errorf("violations = %d", mc.Stats().Violations)
+	}
+}
+
+func TestCatchRunsOnViolation(t *testing.T) {
+	a := difc.Tag(2)
+	p := NewProgram(1)
+	// Secure region with INTEGRITY label writes a static from catch: the
+	// restriction forbids reads with integrity, writes are fine.
+	sec := &Method{Name: "sec", NArgs: 1, NLocal: 1, Secure: &SecureInfo{
+		Labels: difc.Labels{I: difc.NewLabel(a)},
+		Catch:  NewAsm().Const(99).Emit(OpPutStatic, 0).Op(OpReturn).MustBuild(),
+	}}
+	p.Add(sec)
+	// Body reads an unlabeled object: integrity no-read-down violation.
+	sec.Code = NewAsm().Load(0).GetField(0).Op(OpPop).Op(OpReturn).MustBuild()
+
+	main := &Method{Name: "main", NArgs: 0, NLocal: 1}
+	p.Add(main)
+	main.Code = NewAsm().
+		New(1).Store(0).
+		Load(0).Invoke(sec).
+		Emit(OpGetStatic, 0).Op(OpReturnVal).MustBuild()
+
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mc.Call(mc.NewThread(), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 99 {
+		t.Errorf("catch result = %d, want 99", v.Int())
+	}
+}
+
+func TestCompileReportModes(t *testing.T) {
+	tag := difc.Tag(1)
+	p, _, _ := secureProgram(tag)
+	reports := map[BarrierMode]CompileReport{}
+	for _, mode := range []BarrierMode{BarrierNone, BarrierStatic, BarrierDynamic} {
+		p.ResetCompilation()
+		rep, err := p.CompileAll(CompileOptions{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[mode] = rep
+	}
+	if reports[BarrierNone].BarriersEmitted != 0 {
+		t.Error("none mode emitted barriers")
+	}
+	if reports[BarrierStatic].InstrsOut <= reports[BarrierNone].InstrsOut {
+		t.Error("static mode did not grow code")
+	}
+	// Static-mode cloning compiles non-secure methods twice (that is where
+	// its 2× compile-time cost comes from); compare dynamic's per-method
+	// density instead of totals.
+	dynPerMethod := float64(reports[BarrierDynamic].InstrsOut) / float64(reports[BarrierDynamic].Methods)
+	statPerMethod := float64(reports[BarrierStatic].InstrsOut) / float64(reports[BarrierStatic].Methods)
+	if dynPerMethod <= statPerMethod {
+		t.Errorf("dynamic density %.1f should exceed static %.1f", dynPerMethod, statPerMethod)
+	}
+	if reports[BarrierStatic].Methods <= reports[BarrierDynamic].Methods {
+		t.Error("static cloning should compile more method variants than dynamic")
+	}
+}

@@ -1,0 +1,283 @@
+package jvm
+
+// This file implements the redundant-barrier-elimination optimization of
+// §5.1: "We implement an intraprocedural, flow-sensitive data-flow
+// analysis that identifies redundant barriers and removes them. A read
+// (or write) barrier is redundant if the object has been read (written),
+// or if the object was allocated, along every incoming path."
+//
+// The analysis tracks, per local-variable slot, whether the object
+// currently held by the slot has already passed a read check, a write
+// check, or was allocated in this method (allocation implies both: a
+// fresh object carries the region's own labels). Facts meet by
+// intersection at join points, giving the "along every incoming path"
+// semantics. Object operands are traced to their producing instruction by
+// backwards stack simulation within the basic block; operands that cannot
+// be traced to a local load or a fresh allocation conservatively keep
+// their barriers.
+//
+// Soundness rests on two Laminar invariants: object labels are immutable
+// (§4.5) and a security region's labels cannot change during its execution
+// (§4.4), so a check that succeeded once holds for the rest of the region.
+// Calls do not invalidate facts — a nested region entered by a callee is
+// popped again before control returns.
+
+const (
+	factRead  = 1 << iota // slot's object has passed a read check
+	factWrite             // slot's object has passed a write check
+)
+
+// localFacts maps a local slot to its fact bits. Slots absent from the map
+// hold unknown objects.
+type localFacts struct {
+	bits    []uint8
+	staticR bool // a static-read check already ran in this region
+	staticW bool
+}
+
+func newFacts(nLocal int) localFacts {
+	return localFacts{bits: make([]uint8, nLocal)}
+}
+
+func (f localFacts) clone() localFacts {
+	out := localFacts{bits: make([]uint8, len(f.bits)), staticR: f.staticR, staticW: f.staticW}
+	copy(out.bits, f.bits)
+	return out
+}
+
+// meet intersects two fact sets; reports whether the receiver changed.
+func (f *localFacts) meet(other localFacts) bool {
+	changed := false
+	for i := range f.bits {
+		nb := f.bits[i] & other.bits[i]
+		if nb != f.bits[i] {
+			f.bits[i] = nb
+			changed = true
+		}
+	}
+	if f.staticR && !other.staticR {
+		f.staticR = false
+		changed = true
+	}
+	if f.staticW && !other.staticW {
+		f.staticW = false
+		changed = true
+	}
+	return changed
+}
+
+// stackSource walks backwards from pc to find the instruction that
+// produced the stack value at the given depth (0 = value on top just
+// before code[pc] executes). It stays within the basic block — the walk
+// stops at branches, calls and join targets (jumpTarget marks them) — and
+// returns the producing pc, or -1 when unknown.
+func stackSource(code []Instr, jumpTarget []bool, pc, depth int) int {
+	want := depth
+	for i := pc - 1; i >= 0; i-- {
+		in := code[i]
+		if in.Op.isJump() || in.Op == OpReturn || in.Op == OpReturnVal || in.Op == OpInvoke {
+			return -1 // values across calls/branches are not traced
+		}
+		if jumpTarget[i+1] {
+			// Something jumps to i+1; the values below may come from
+			// elsewhere on another path.
+			return -1
+		}
+		pops, pushes := stackEffect(in.Op)
+		if pushes > want {
+			return i
+		}
+		want = want - pushes + pops
+	}
+	return -1
+}
+
+// jumpTargets marks every pc that some branch lands on.
+func jumpTargets(code []Instr) []bool {
+	t := make([]bool, len(code)+1)
+	for _, in := range code {
+		if in.Op.isJump() && int(in.A) <= len(code) {
+			t[in.A] = true
+		}
+	}
+	return t
+}
+
+// eliminateRedundant computes which barriers must stay. need starts as the
+// all-barriers set from allBarriers.
+func eliminateRedundant(code []Instr, need barrierNeed) barrierNeed {
+	blocks, blockOf := buildBlocks(code)
+	jt := jumpTargets(code)
+	nLocal := maxLocalSlot(code) + 1
+
+	in := make([]localFacts, len(blocks))
+	out := make([]localFacts, len(blocks))
+	for i := range blocks {
+		in[i] = newFacts(nLocal)
+		out[i] = newFacts(nLocal)
+	}
+	// Entry block starts with no facts; all others optimistically start
+	// "all facts" so the intersection fixpoint converges from above.
+	for i := 1; i < len(blocks); i++ {
+		for s := range in[i].bits {
+			in[i].bits[s] = factRead | factWrite
+		}
+		in[i].staticR, in[i].staticW = true, true
+	}
+
+	// Fixpoint: iterate transfer until stable.
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range blocks {
+			f := in[bi].clone()
+			transferBlock(code, jt, b, &f, nil)
+			if !factsEqual(out[bi], f) {
+				out[bi] = f
+				changed = true
+			}
+			for _, succ := range successors(code, b) {
+				si := blockOf[succ]
+				if in[si].meet(out[bi]) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final pass: with stable entry facts, mark redundant barriers.
+	for bi, b := range blocks {
+		f := in[bi].clone()
+		transferBlock(code, jt, b, &f, &need)
+	}
+	return need
+}
+
+// block is a half-open instruction range [start, end).
+type block struct{ start, end int }
+
+// buildBlocks splits code into basic blocks and maps start pc -> index.
+func buildBlocks(code []Instr) ([]block, map[int]int) {
+	leader := make([]bool, len(code)+1)
+	leader[0] = true
+	for pc, in := range code {
+		if in.Op.isJump() {
+			leader[in.A] = true
+			leader[pc+1] = true
+		}
+		if in.Op == OpReturn || in.Op == OpReturnVal {
+			leader[pc+1] = true
+		}
+	}
+	var blocks []block
+	blockOf := make(map[int]int)
+	start := 0
+	for pc := 1; pc <= len(code); pc++ {
+		if pc == len(code) || leader[pc] {
+			if start < pc {
+				blockOf[start] = len(blocks)
+				blocks = append(blocks, block{start, pc})
+			}
+			start = pc
+		}
+	}
+	return blocks, blockOf
+}
+
+// successors lists the start pcs of b's successor blocks.
+func successors(code []Instr, b block) []int {
+	last := code[b.end-1]
+	switch {
+	case last.Op == OpReturn || last.Op == OpReturnVal:
+		return nil
+	case last.Op == OpJmp:
+		return []int{int(last.A)}
+	case last.Op == OpJmpIf || last.Op == OpJmpIfNot:
+		return []int{int(last.A), b.end}
+	default:
+		if b.end < len(code) {
+			return []int{b.end}
+		}
+		return nil
+	}
+}
+
+// transferBlock runs the transfer function over a block. When need is
+// non-nil, barriers proven redundant are cleared in it.
+func transferBlock(code []Instr, jt []bool, b block, f *localFacts, need *barrierNeed) {
+	for pc := b.start; pc < b.end; pc++ {
+		in := code[pc]
+		switch {
+		case accessDepth(in.Op) >= 0:
+			src := stackSource(code, jt, pc, accessDepth(in.Op))
+			bit := uint8(factRead)
+			if isWrite(in.Op) {
+				bit = factWrite
+			}
+			switch {
+			case src >= 0 && (code[src].Op == OpNew || code[src].Op == OpNewArray):
+				// Freshly allocated on this path: always redundant.
+				if need != nil {
+					need.access[pc] = false
+				}
+			case src >= 0 && code[src].Op == OpLoad:
+				slot := int(code[src].A)
+				if slot < len(f.bits) {
+					if f.bits[slot]&bit != 0 {
+						if need != nil {
+							need.access[pc] = false
+						}
+					}
+					f.bits[slot] |= bit
+				}
+			case src >= 0 && code[src].Op == OpDup:
+				// Conservatively keep the barrier; no fact update.
+			}
+		case in.Op == OpGetStatic:
+			if f.staticR && need != nil {
+				need.static[pc] = false
+			}
+			f.staticR = true
+		case in.Op == OpPutStatic:
+			if f.staticW && need != nil {
+				need.static[pc] = false
+			}
+			f.staticW = true
+		case in.Op == OpStore:
+			slot := int(in.A)
+			if slot < len(f.bits) {
+				// What is being stored? A fresh allocation transfers
+				// full facts; anything else clears them.
+				src := stackSource(code, jt, pc, 0)
+				if src >= 0 && (code[src].Op == OpNew || code[src].Op == OpNewArray) {
+					f.bits[slot] = factRead | factWrite
+				} else if src >= 0 && code[src].Op == OpLoad && int(code[src].A) < len(f.bits) {
+					f.bits[slot] = f.bits[int(code[src].A)]
+				} else {
+					f.bits[slot] = 0
+				}
+			}
+		}
+	}
+}
+
+func factsEqual(a, b localFacts) bool {
+	if a.staticR != b.staticR || a.staticW != b.staticW {
+		return false
+	}
+	for i := range a.bits {
+		if a.bits[i] != b.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxLocalSlot(code []Instr) int {
+	max := 0
+	for _, in := range code {
+		if (in.Op == OpLoad || in.Op == OpStore) && int(in.A) > max {
+			max = int(in.A)
+		}
+	}
+	return max
+}

@@ -1,0 +1,303 @@
+package jvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"laminar/internal/difc"
+)
+
+// Text assembly. Programs can be written in a small line-oriented
+// assembly, convenient for tests and for inspecting compiler behaviour:
+//
+//	; a comment
+//	statics 2
+//
+//	method main args=0 locals=2
+//	    const 5
+//	    store 0
+//	loop:
+//	    load 0
+//	    const 0
+//	    cmple
+//	    jmpif done
+//	    load 0
+//	    const 1
+//	    sub
+//	    store 0
+//	    jmp loop
+//	done:
+//	    load 0
+//	    returnval
+//	end
+//
+//	secure method fill args=1 locals=2 secrecy=3 integrity=4 minus=3
+//	    load 0
+//	    getfield 0
+//	    pop
+//	    return
+//	catch:
+//	    return
+//	end
+//
+// `invoke` takes a method name; names resolve after the whole file is
+// read, so forward references work. Secrecy/integrity/plus/minus take
+// comma-separated tag numbers for the region's credentials.
+
+// Parse assembles a program from text.
+func Parse(src string) (*Program, error) {
+	p := &parser{prog: NewProgram(0)}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+type parser struct {
+	prog *Program
+	line int
+}
+
+type pendingMethod struct {
+	method  *Method
+	asm     *Asm
+	catch   *Asm
+	inCatch bool
+	invokes []pendingInvoke // fixups by name
+}
+
+type pendingInvoke struct {
+	inCatch bool
+	pc      int
+	name    string
+	line    int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("jvm: parse line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	var cur *pendingMethod
+	var done []*pendingMethod
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "statics":
+			if len(fields) != 2 {
+				return p.errf("statics wants a count")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return p.errf("bad statics count %q", fields[1])
+			}
+			p.prog.NStatics = n
+		case fields[0] == "method" || (fields[0] == "secure" && len(fields) > 1 && fields[1] == "method"):
+			if cur != nil {
+				return p.errf("method inside method")
+			}
+			m, err := p.parseHeader(fields)
+			if err != nil {
+				return err
+			}
+			cur = &pendingMethod{method: m, asm: NewAsm()}
+		case fields[0] == "catch:":
+			if cur == nil || cur.method.Secure == nil {
+				return p.errf("catch outside a secure method")
+			}
+			if cur.inCatch {
+				return p.errf("duplicate catch block")
+			}
+			cur.inCatch = true
+			cur.catch = NewAsm()
+		case fields[0] == "end":
+			if cur == nil {
+				return p.errf("end outside a method")
+			}
+			code, err := cur.asm.Build()
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			cur.method.Code = code
+			if cur.catch != nil {
+				catch, err := cur.catch.Build()
+				if err != nil {
+					return p.errf("%v", err)
+				}
+				cur.method.Secure.Catch = catch
+			}
+			p.prog.Add(cur.method)
+			done = append(done, cur)
+			cur = nil
+		case strings.HasSuffix(fields[0], ":") && len(fields) == 1:
+			if cur == nil {
+				return p.errf("label outside a method")
+			}
+			cur.active().Label(strings.TrimSuffix(fields[0], ":"))
+		default:
+			if cur == nil {
+				return p.errf("instruction outside a method")
+			}
+			if err := p.parseInstr(cur, fields); err != nil {
+				return err
+			}
+		}
+	}
+	if cur != nil {
+		return p.errf("missing end for method %s", cur.method.Name)
+	}
+	// Resolve invoke-by-name fixups.
+	for _, pm := range done {
+		for _, iv := range pm.invokes {
+			callee, err := p.prog.Lookup(iv.name)
+			if err != nil {
+				return fmt.Errorf("jvm: parse line %d: invoke of undefined method %q", iv.line, iv.name)
+			}
+			if iv.inCatch {
+				pm.method.Secure.Catch[iv.pc].A = int32(callee.index)
+			} else {
+				pm.method.Code[iv.pc].A = int32(callee.index)
+			}
+		}
+	}
+	return nil
+}
+
+func (pm *pendingMethod) active() *Asm {
+	if pm.inCatch {
+		return pm.catch
+	}
+	return pm.asm
+}
+
+// parseHeader handles "method NAME k=v..." and "secure method NAME k=v...".
+func (p *parser) parseHeader(fields []string) (*Method, error) {
+	secure := fields[0] == "secure"
+	if secure {
+		fields = fields[1:]
+	}
+	if len(fields) < 2 {
+		return nil, p.errf("method wants a name")
+	}
+	m := &Method{Name: fields[1]}
+	if secure {
+		m.Secure = &SecureInfo{}
+	}
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, p.errf("bad attribute %q", kv)
+		}
+		switch key {
+		case "args":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, p.errf("bad args %q", val)
+			}
+			m.NArgs = n
+		case "locals":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, p.errf("bad locals %q", val)
+			}
+			m.NLocal = n
+		case "secrecy", "integrity", "plus", "minus":
+			if m.Secure == nil {
+				return nil, p.errf("%s= on a non-secure method", key)
+			}
+			tags, err := parseTags(val)
+			if err != nil {
+				return nil, p.errf("bad %s list %q", key, val)
+			}
+			switch key {
+			case "secrecy":
+				m.Secure.Labels.S = tags
+			case "integrity":
+				m.Secure.Labels.I = tags
+			case "plus":
+				m.Secure.Caps = difc.NewCapSet(tags, m.Secure.Caps.Minus())
+			case "minus":
+				m.Secure.Caps = difc.NewCapSet(m.Secure.Caps.Plus(), tags)
+			}
+		default:
+			return nil, p.errf("unknown attribute %q", key)
+		}
+	}
+	return m, nil
+}
+
+func parseTags(val string) (difc.Label, error) {
+	var tags []difc.Tag
+	for _, s := range strings.Split(val, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return difc.Label{}, err
+		}
+		tags = append(tags, difc.Tag(n))
+	}
+	return difc.NewLabel(tags...), nil
+}
+
+// opByName maps mnemonic to opcode (source opcodes only).
+var opByName = func() map[string]Op {
+	m := make(map[string]Op)
+	for op, name := range opNames {
+		if name == "" || Op(op).isBarrier() {
+			continue
+		}
+		m[name] = Op(op)
+	}
+	return m
+}()
+
+func (p *parser) parseInstr(pm *pendingMethod, fields []string) error {
+	name := fields[0]
+	op, ok := opByName[name]
+	if !ok {
+		return p.errf("unknown mnemonic %q", name)
+	}
+	a := pm.active()
+	switch {
+	case op.isJump():
+		if len(fields) != 2 {
+			return p.errf("%s wants a label", name)
+		}
+		a.jump(op, fields[1])
+	case op == OpInvoke:
+		if len(fields) != 2 {
+			return p.errf("invoke wants a method name")
+		}
+		pm.invokes = append(pm.invokes, pendingInvoke{
+			inCatch: pm.inCatch,
+			pc:      len(a.code),
+			name:    fields[1],
+			line:    p.line,
+		})
+		a.Emit(OpInvoke, -1) // fixed up after all methods parse
+	case hasOperand(op):
+		if len(fields) != 2 {
+			return p.errf("%s wants an operand", name)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return p.errf("bad operand %q", fields[1])
+		}
+		a.Emit(op, int32(n))
+	default:
+		if len(fields) != 1 {
+			return p.errf("%s takes no operand", name)
+		}
+		a.Op(op)
+	}
+	return nil
+}

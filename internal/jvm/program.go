@@ -1,0 +1,221 @@
+package jvm
+
+import (
+	"fmt"
+
+	"laminar/internal/difc"
+)
+
+// Value is a MiniJVM stack slot: an integer or an object reference. The
+// zero value is the integer 0.
+type Value struct {
+	ref *Obj
+	i   int64
+}
+
+// IntV boxes an integer.
+func IntV(i int64) Value { return Value{i: i} }
+
+// RefV boxes an object reference.
+func RefV(o *Obj) Value { return Value{ref: o} }
+
+// IsRef reports whether the value is an object reference.
+func (v Value) IsRef() bool { return v.ref != nil }
+
+// Int returns the integer payload (0 for references).
+func (v Value) Int() int64 { return v.i }
+
+// Ref returns the reference payload (nil for integers).
+func (v Value) Ref() *Obj { return v.ref }
+
+// Obj is a MiniJVM heap object: field slots or an array part, plus the
+// immutable label words the Laminar allocator adds to the header (§5.1:
+// "two words to each object's header, which point to secrecy and
+// integrity labels").
+type Obj struct {
+	fields  []Value
+	elems   []Value
+	labels  difc.Labels
+	labeled bool
+}
+
+// Labels returns the object's label pair.
+func (o *Obj) Labels() difc.Labels { return o.labels }
+
+// IsLabeled reports whether the object is in the labeled object space.
+func (o *Obj) IsLabeled() bool { return o.labeled }
+
+// Field reads a field slot without barriers (host/test access).
+func (o *Obj) Field(i int) Value { return o.fields[i] }
+
+// SetField writes a field slot without barriers (host/test access).
+func (o *Obj) SetField(i int, v Value) { o.fields[i] = v }
+
+// Elem reads an array slot without barriers (host/test access).
+func (o *Obj) Elem(i int) Value { return o.elems[i] }
+
+// Len returns the array length.
+func (o *Obj) Len() int { return len(o.elems) }
+
+// SecureInfo marks a method as a security region and carries its
+// credentials. The prototype restriction of §5.1 applies: a security
+// region is its own method.
+type SecureInfo struct {
+	// Labels and Caps are the region's credentials, fixed when the
+	// program is assembled (workload setup allocates tags first).
+	Labels difc.Labels
+	Caps   difc.CapSet
+	// Catch is the catch block's code. It runs with the region's labels
+	// when the body raises; it must end in OpReturn. Nil means an empty
+	// catch block.
+	Catch []Instr
+}
+
+// Method is a MiniJVM method.
+type Method struct {
+	Name   string
+	NArgs  int
+	NLocal int // total local slots, including args
+	Code   []Instr
+	Secure *SecureInfo
+
+	// compiled variants, filled by the compiler.
+	variants [2]*compiledMethod // [outside, inside]
+	firstUse *compiledMethod    // prototype first-execution-context mode
+	index    int
+	maxStack int // computed by Verify
+}
+
+// Index returns the method's slot in the program table.
+func (m *Method) Index() int { return m.index }
+
+// Program is a compiled unit: a method table plus a statics table size.
+type Program struct {
+	Methods  []*Method
+	NStatics int
+
+	byName   map[string]*Method
+	verified bool
+}
+
+// NewProgram creates an empty program with n static slots.
+func NewProgram(nStatics int) *Program {
+	return &Program{NStatics: nStatics, byName: make(map[string]*Method)}
+}
+
+// Add registers a method and returns it.
+func (p *Program) Add(m *Method) *Method {
+	m.index = len(p.Methods)
+	p.Methods = append(p.Methods, m)
+	p.byName[m.Name] = m
+	p.verified = false
+	return m
+}
+
+// Lookup finds a method by name.
+func (p *Program) Lookup(name string) (*Method, error) {
+	m, ok := p.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("jvm: no method %q", name)
+	}
+	return m, nil
+}
+
+// --- assembler ---
+
+// Asm builds a method's code with symbolic labels, so workloads and tests
+// don't hand-compute branch targets.
+type Asm struct {
+	code   []Instr
+	labels map[string]int32
+	refs   []labelRef
+	err    error
+}
+
+type labelRef struct {
+	pc    int
+	label string
+}
+
+// NewAsm creates an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int32)}
+}
+
+// Emit appends a raw instruction.
+func (a *Asm) Emit(op Op, operand int32) *Asm {
+	if op.isBarrier() {
+		a.err = fmt.Errorf("jvm: asm: barrier opcode %v in source", op)
+	}
+	a.code = append(a.code, Instr{Op: op, A: operand})
+	return a
+}
+
+// Op appends an operand-less instruction.
+func (a *Asm) Op(op Op) *Asm { return a.Emit(op, 0) }
+
+// Const pushes an integer.
+func (a *Asm) Const(v int64) *Asm { return a.Emit(OpConst, int32(v)) }
+
+// Load pushes a local.
+func (a *Asm) Load(slot int) *Asm { return a.Emit(OpLoad, int32(slot)) }
+
+// Store pops into a local.
+func (a *Asm) Store(slot int) *Asm { return a.Emit(OpStore, int32(slot)) }
+
+// New allocates an object with n field slots.
+func (a *Asm) New(nFields int) *Asm { return a.Emit(OpNew, int32(nFields)) }
+
+// GetField reads field slot f of the popped object.
+func (a *Asm) GetField(f int) *Asm { return a.Emit(OpGetField, int32(f)) }
+
+// PutField writes field slot f.
+func (a *Asm) PutField(f int) *Asm { return a.Emit(OpPutField, int32(f)) }
+
+// Invoke calls method m.
+func (a *Asm) Invoke(m *Method) *Asm { return a.Emit(OpInvoke, int32(m.index)) }
+
+// Label defines a branch target at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.err = fmt.Errorf("jvm: asm: duplicate label %q", name)
+	}
+	a.labels[name] = int32(len(a.code))
+	return a
+}
+
+// Jmp, JmpIf and JmpIfNot branch to a label.
+func (a *Asm) Jmp(label string) *Asm      { return a.jump(OpJmp, label) }
+func (a *Asm) JmpIf(label string) *Asm    { return a.jump(OpJmpIf, label) }
+func (a *Asm) JmpIfNot(label string) *Asm { return a.jump(OpJmpIfNot, label) }
+
+func (a *Asm) jump(op Op, label string) *Asm {
+	a.refs = append(a.refs, labelRef{pc: len(a.code), label: label})
+	a.code = append(a.code, Instr{Op: op})
+	return a
+}
+
+// Build resolves labels and returns the code.
+func (a *Asm) Build() ([]Instr, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for _, r := range a.refs {
+		target, ok := a.labels[r.label]
+		if !ok {
+			return nil, fmt.Errorf("jvm: asm: undefined label %q", r.label)
+		}
+		a.code[r.pc].A = target
+	}
+	return a.code, nil
+}
+
+// MustBuild is Build for tests and workload constructors that control
+// their own source.
+func (a *Asm) MustBuild() []Instr {
+	code, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

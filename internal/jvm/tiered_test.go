@@ -1,0 +1,97 @@
+package jvm
+
+import "testing"
+
+func TestTieredRecompilation(t *testing.T) {
+	build := func() *Program {
+		p := NewProgram(0)
+		work := &Method{Name: "work", NArgs: 1, NLocal: 1}
+		p.Add(work)
+		work.Code = NewAsm().
+			Load(0).GetField(0).Op(OpPop).
+			Load(0).GetField(0).Op(OpPop).
+			Op(OpReturn).MustBuild()
+		return p
+	}
+
+	// Without tiering: every call pays both barriers.
+	p := build()
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mc.NewThread()
+	obj := &Obj{fields: make([]Value, 1)}
+	for i := 0; i < 20; i++ {
+		if _, err := mc.Call(th, "work", RefV(obj)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := mc.Stats().BarrierChecks
+
+	// With tiering (threshold 5): after five invocations the optimized
+	// tier elides the redundant second barrier.
+	p2 := build()
+	mc2, err := NewMachine(p2, CompileOptions{Mode: BarrierStatic, HotThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := mc2.NewThread()
+	for i := 0; i < 20; i++ {
+		if _, err := mc2.Call(th2, "work", RefV(obj)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := mc2.Stats().BarrierChecks
+	if hot >= cold {
+		t.Errorf("tiered checks %d >= cold %d", hot, cold)
+	}
+	// The recompile shows up in the compile report (two compilations of
+	// the method) and elides one barrier.
+	rep := mc2.CompileReport()
+	if rep.Methods != 2 {
+		t.Errorf("methods compiled = %d, want 2 (baseline + hot tier)", rep.Methods)
+	}
+	if rep.BarriersElided == 0 {
+		t.Error("hot tier elided nothing")
+	}
+}
+
+func TestTieredKeepsContextDecision(t *testing.T) {
+	// A method compiled outside regions stays an outside variant after
+	// hot recompilation: its barriers remain the out-of-region kind.
+	p := NewProgram(0)
+	work := &Method{Name: "work", NArgs: 1, NLocal: 1}
+	p.Add(work)
+	work.Code = NewAsm().
+		Load(0).GetField(0).Op(OpPop).
+		Op(OpReturn).MustBuild()
+	mc, err := NewMachine(p, CompileOptions{Mode: BarrierStatic, HotThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mc.NewThread()
+	obj := &Obj{fields: make([]Value, 1)}
+	for i := 0; i < 6; i++ {
+		if _, err := mc.Call(th, "work", RefV(obj)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The optimized variant must still carry an outside barrier.
+	cm := work.variants[0]
+	if cm == nil || !cm.optimized {
+		t.Fatal("hot variant not installed")
+	}
+	found := false
+	for _, in := range cm.code {
+		if in.Op == OpBarrierOutR {
+			found = true
+		}
+		if in.Op == OpBarrierRead {
+			t.Error("outside variant gained an in-region barrier")
+		}
+	}
+	if !found {
+		t.Error("outside barrier missing from hot variant")
+	}
+}

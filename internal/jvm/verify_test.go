@@ -1,0 +1,183 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+func expectVerifyError(t *testing.T, p *Program, want string) {
+	t.Helper()
+	err := p.Verify()
+	if err == nil {
+		t.Fatalf("verify passed, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("verify error = %v, want containing %q", err, want)
+	}
+}
+
+func TestVerifyStackUnderflow(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, []Instr{{Op: OpAdd}, {Op: OpReturn}}))
+	expectVerifyError(t, p, "underflow")
+}
+
+func TestVerifyBadBranchTarget(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, []Instr{{Op: OpJmp, A: 99}}))
+	expectVerifyError(t, p, "out of range")
+}
+
+func TestVerifyInconsistentJoin(t *testing.T) {
+	// Path 1 reaches pc 4 with depth 1, path 2 with depth 0.
+	code := []Instr{
+		{Op: OpConst, A: 1}, // 0: depth 1
+		{Op: OpJmpIf, A: 4}, // 1: pops -> depth 0; branch to 4 at 0
+		{Op: OpConst, A: 2}, // 2: depth 1
+		{Op: OpNop},         // 3: depth 1 -> falls to 4
+		{Op: OpReturn},      // 4: joined at different depths
+	}
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, code))
+	expectVerifyError(t, p, "inconsistent stack depth")
+}
+
+func TestVerifyFallOffEnd(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, []Instr{{Op: OpNop}}))
+	expectVerifyError(t, p, "falls off end")
+}
+
+func TestVerifyLocalBounds(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 1, nil, []Instr{{Op: OpLoad, A: 5}, {Op: OpPop}, {Op: OpReturn}}))
+	expectVerifyError(t, p, "local slot 5 out of range")
+}
+
+func TestVerifyStaticBounds(t *testing.T) {
+	p := NewProgram(1)
+	p.Add(method("m", 0, 0, nil, []Instr{{Op: OpGetStatic, A: 3}, {Op: OpPop}, {Op: OpReturn}}))
+	expectVerifyError(t, p, "static slot 3 out of range")
+}
+
+func TestVerifyUndefinedInvoke(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, []Instr{{Op: OpInvoke, A: 7}, {Op: OpReturn}}))
+	expectVerifyError(t, p, "undefined method")
+}
+
+func TestVerifyEmptyCode(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, nil))
+	expectVerifyError(t, p, "empty code")
+}
+
+func TestVerifyBarrierInSource(t *testing.T) {
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, []Instr{{Op: OpBarrierRead}, {Op: OpReturn}}))
+	expectVerifyError(t, p, "barrier opcode")
+}
+
+func TestVerifyMixedReturns(t *testing.T) {
+	code := []Instr{
+		{Op: OpConst, A: 1},
+		{Op: OpJmpIf, A: 3},
+		{Op: OpReturn}, // void return in value-returning method
+		{Op: OpConst, A: 1},
+		{Op: OpReturnVal},
+	}
+	p := NewProgram(0)
+	p.Add(method("m", 0, 0, nil, code))
+	expectVerifyError(t, p, "void return in value-returning method")
+}
+
+func TestVerifySecureReturnsValue(t *testing.T) {
+	p := NewProgram(0)
+	sec := method("s", 1, 1, &SecureInfo{}, []Instr{{Op: OpConst, A: 1}, {Op: OpReturnVal}})
+	p.Add(sec)
+	expectVerifyError(t, p, "security region method returns a value")
+}
+
+func TestVerifySecureWritesParam(t *testing.T) {
+	p := NewProgram(0)
+	sec := method("s", 1, 1, &SecureInfo{},
+		[]Instr{{Op: OpConst, A: 1}, {Op: OpStore, A: 0}, {Op: OpReturn}})
+	p.Add(sec)
+	expectVerifyError(t, p, "writes parameter slot")
+}
+
+func TestVerifySecureReadsParamAsValue(t *testing.T) {
+	// load p; load p; add -- reads the parameter's value (e.g. comparing
+	// the reference): forbidden.
+	p := NewProgram(0)
+	sec := method("s", 1, 1, &SecureInfo{},
+		[]Instr{{Op: OpLoad, A: 0}, {Op: OpLoad, A: 0}, {Op: OpAdd}, {Op: OpPop}, {Op: OpReturn}})
+	p.Add(sec)
+	expectVerifyError(t, p, "reads parameter slot")
+}
+
+func TestVerifySecureDerefParamAllowed(t *testing.T) {
+	// load p; getfield 0; pop — dereference is explicitly allowed.
+	p := NewProgram(0)
+	sec := method("s", 1, 2, &SecureInfo{},
+		[]Instr{{Op: OpLoad, A: 0}, {Op: OpGetField, A: 0}, {Op: OpPop}, {Op: OpReturn}})
+	p.Add(sec)
+	if err := p.Verify(); err != nil {
+		t.Errorf("deref of param rejected: %v", err)
+	}
+}
+
+func TestVerifySecureParamThroughIndexDeref(t *testing.T) {
+	// load p; const 3; aload — param used as array base.
+	p := NewProgram(0)
+	sec := method("s", 1, 2, &SecureInfo{}, []Instr{
+		{Op: OpLoad, A: 0}, {Op: OpConst, A: 3}, {Op: OpALoad}, {Op: OpPop}, {Op: OpReturn}})
+	p.Add(sec)
+	if err := p.Verify(); err != nil {
+		t.Errorf("indexed deref of param rejected: %v", err)
+	}
+}
+
+func TestVerifySecureParamToInvokeAllowed(t *testing.T) {
+	p := NewProgram(0)
+	callee := method("callee", 1, 1, nil, []Instr{{Op: OpReturn}})
+	p.Add(callee)
+	sec := method("s", 1, 1, &SecureInfo{}, []Instr{
+		{Op: OpLoad, A: 0}, {Op: OpInvoke, A: 0}, {Op: OpReturn}})
+	p.Add(sec)
+	if err := p.Verify(); err != nil {
+		t.Errorf("param passed to call rejected: %v", err)
+	}
+}
+
+func TestVerifyCatchRules(t *testing.T) {
+	p := NewProgram(0)
+	sec := method("s", 0, 1, &SecureInfo{
+		Catch: []Instr{{Op: OpConst, A: 1}, {Op: OpReturnVal}},
+	}, []Instr{{Op: OpReturn}})
+	p.Add(sec)
+	expectVerifyError(t, p, "returnval in void method")
+}
+
+func TestVerifyMaxStackComputed(t *testing.T) {
+	p := NewProgram(0)
+	m := method("m", 0, 0, nil, NewAsm().
+		Const(1).Const(2).Const(3).Op(OpAdd).Op(OpAdd).Op(OpReturnVal).MustBuild())
+	p.Add(m)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if m.maxStack != 3 {
+		t.Errorf("maxStack = %d, want 3", m.maxStack)
+	}
+}
+
+func TestVerifyGoodProgramWithRegions(t *testing.T) {
+	tag := difc.Tag(1)
+	p, _, _ := secureProgram(tag)
+	if err := p.Verify(); err != nil {
+		t.Errorf("secureProgram fails verification: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package kernel implements the simulated operating system substrate that
+// stands in for Laminar's modified Linux 2.6.22 (Roy et al., PLDI 2009,
+// §5.2). It provides tasks, an in-memory virtual filesystem with extended
+// attributes, pipes, signals, and the Laminar system calls, all mediated by
+// a pluggable security module through an LSM-style hook table.
+//
+// The kernel itself knows nothing about labels: every inode, file and task
+// carries an opaque security field that the registered SecurityModule
+// manages, exactly as Linux Security Modules attach state to kernel
+// objects. Running the kernel without a module gives the unmodified-Linux
+// baseline used by the Table 2 (lmbench) experiments.
+package kernel
+
+import "errors"
+
+// Errno-style sentinel errors. Syscalls return these directly or wrapped;
+// compare with errors.Is.
+var (
+	ErrPerm      = errors.New("EPERM: operation not permitted")
+	ErrNoEnt     = errors.New("ENOENT: no such file or directory")
+	ErrSrch      = errors.New("ESRCH: no such process")
+	ErrBadF      = errors.New("EBADF: bad file descriptor")
+	ErrAgain     = errors.New("EAGAIN: resource temporarily unavailable")
+	ErrAccess    = errors.New("EACCES: permission denied")
+	ErrExist     = errors.New("EEXIST: file exists")
+	ErrNotDir    = errors.New("ENOTDIR: not a directory")
+	ErrIsDir     = errors.New("EISDIR: is a directory")
+	ErrInval     = errors.New("EINVAL: invalid argument")
+	ErrNoSys     = errors.New("ENOSYS: function not implemented")
+	ErrNotEmpty  = errors.New("ENOTEMPTY: directory not empty")
+	ErrFault     = errors.New("EFAULT: bad address")
+	ErrPipe      = errors.New("EPIPE: broken pipe")
+	ErrNoSpc     = errors.New("ENOSPC: no space left on device")
+	ErrNameLong  = errors.New("ENAMETOOLONG: file name too long")
+	ErrNoAttr    = errors.New("ENOATTR: no such attribute")
+	ErrRange     = errors.New("ERANGE: result too large")
+	ErrDeadlock  = errors.New("EDEADLK: resource deadlock avoided")
+	ErrChildless = errors.New("ECHILD: no child processes")
+)

@@ -1,0 +1,358 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"laminar/internal/difc"
+)
+
+// Kernel is the simulated operating system: a task table, an in-memory
+// VFS, and an optional security module consulted through LSM-style hooks.
+// All syscalls take the acting *Task; the big kernel lock serializes them,
+// which is accurate enough for a functional and relative-overhead model.
+type Kernel struct {
+	mu        sync.Mutex
+	sec       SecurityModule
+	root      *Inode
+	tasks     map[TID]*Task
+	nextTID   TID
+	nextProc  uint64
+	listeners map[string]*listener
+	// socketNS is the unlabeled pseudo-inode representing the socket name
+	// namespace; advertising a listener writes it.
+	socketNS *Inode
+
+	// hookCalls counts security hook invocations, for tests that assert
+	// the hook surface is actually exercised.
+	hookCalls uint64
+}
+
+// Option configures kernel construction.
+type Option func(*Kernel)
+
+// WithSecurityModule installs the security module. Without this option the
+// kernel behaves as unmodified Linux.
+func WithSecurityModule(m SecurityModule) Option {
+	return func(k *Kernel) { k.sec = m }
+}
+
+// New boots a kernel: builds the root filesystem skeleton (/, /etc, /home,
+// /tmp, /dev/null, /dev/zero) and the init task (TID 1).
+func New(opts ...Option) *Kernel {
+	k := &Kernel{
+		tasks:   make(map[TID]*Task),
+		nextTID: 1,
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	k.root = newInode(TypeDir, 0o755)
+	init := k.newTask(nil, "root")
+	k.nextProc = 1
+	init.Proc = 1
+	init.Cwd = k.root
+	// Standard tree. mkdirInternal bypasses hooks: this is boot, before
+	// any principal exists; the module labels these directories itself in
+	// its InstallSystemIntegrity step.
+	etc := k.mkdirInternal(k.root, "etc")
+	k.mkdirInternal(etc, "laminar")
+	k.mkdirInternal(k.root, "home")
+	k.mkdirInternal(k.root, "tmp")
+	dev := k.mkdirInternal(k.root, "dev")
+	null := newInode(TypeDevNull, 0o666)
+	null.parent = dev
+	dev.children["null"] = null
+	zero := newInode(TypeDevZero, 0o666)
+	zero.parent = dev
+	dev.children["zero"] = zero
+	k.socketNS = newInode(TypeDir, 0o777)
+	return k
+}
+
+// SecurityModuleName returns the registered module's name, or "" when the
+// kernel runs without one.
+func (k *Kernel) SecurityModuleName() string {
+	if k.sec == nil {
+		return ""
+	}
+	return k.sec.Name()
+}
+
+// Root returns the root directory inode (used by the security module to
+// install system integrity labels at boot).
+func (k *Kernel) Root() *Inode { return k.root }
+
+// HookCalls reports how many security hooks have fired since boot.
+func (k *Kernel) HookCalls() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.hookCalls
+}
+
+func (k *Kernel) newTask(parent *Task, user string) *Task {
+	t := &Task{
+		TID:  k.nextTID,
+		User: user,
+		k:    k,
+		fds:  make(map[FD]*File),
+	}
+	if parent != nil {
+		t.Parent = parent.TID
+		t.Proc = parent.Proc
+		t.Cwd = parent.Cwd
+		t.User = parent.User
+	}
+	k.nextTID++
+	k.tasks[t.TID] = t
+	return t
+}
+
+// InitTask returns the boot task (TID 1).
+func (k *Kernel) InitTask() *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tasks[1]
+}
+
+// TasksInProc counts live tasks in the given process — the security
+// module uses it to restrict label changes in multithreaded processes
+// without a trusted VM (§4.1). Callers outside the kernel must treat the
+// result as advisory (it is computed under the kernel lock when called
+// from a hook).
+func (k *Kernel) TasksInProc(proc uint64) int {
+	n := 0
+	for _, t := range k.tasks {
+		if t.Proc == proc && !t.exited {
+			n++
+		}
+	}
+	return n
+}
+
+// Task looks up a live task by TID.
+func (k *Kernel) Task(tid TID) (*Task, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t, ok := k.tasks[tid]
+	if !ok || t.exited {
+		return nil, ErrSrch
+	}
+	return t, nil
+}
+
+// Fork creates a child task. keep restricts the capabilities the child
+// inherits: nil means all of the parent's capabilities, an empty non-nil
+// slice means none. The paper's model: a new principal's capabilities are
+// a subset of its immediate parent's (§4.4).
+func (k *Kernel) Fork(parent *Task, keep []Capability) (*Task, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workFork)
+	if parent.exited {
+		return nil, ErrSrch
+	}
+	child := k.newTask(parent, parent.User)
+	if k.sec != nil {
+		k.hookCalls++
+		if err := k.sec.TaskAlloc(parent, child, keep); err != nil {
+			delete(k.tasks, child.TID)
+			return nil, err
+		}
+	}
+	return child, nil
+}
+
+// Spawn is Fork into a fresh process (new address space): the child gets a
+// new Proc id, so it is outside the parent's trusted-VM boundary.
+func (k *Kernel) Spawn(parent *Task, keep []Capability) (*Task, error) {
+	child, err := k.Fork(parent, keep)
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	k.nextProc++
+	child.Proc = k.nextProc
+	k.mu.Unlock()
+	return child, nil
+}
+
+// Exec simulates execve: the task's address space is replaced (all vmas
+// dropped) after the security module approves executing the file at path.
+// Labels and capabilities persist across exec, as in Laminar.
+func (k *Kernel) Exec(t *Task, path string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workExec)
+	ino, err := k.resolve(t, path)
+	if err != nil {
+		return err
+	}
+	if ino.IsDir() {
+		return ErrIsDir
+	}
+	if k.sec != nil {
+		k.hookCalls++
+		if err := k.sec.InodePermission(t, ino, MayRead|MayExec); err != nil {
+			return err
+		}
+	}
+	t.vmas = nil
+	return nil
+}
+
+// Exit terminates the task, closing its files and freeing its security
+// state. Exit status is deliberately not observable across label
+// boundaries (termination-channel hygiene, §4.3.3): there is no wait
+// syscall that reports status to arbitrary tasks.
+func (k *Kernel) Exit(t *Task) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if t.exited {
+		return
+	}
+	t.exited = true
+	t.fds = make(map[FD]*File)
+	if k.sec != nil {
+		k.sec.TaskFree(t)
+	}
+	delete(k.tasks, t.TID)
+}
+
+// Kill delivers a signal to target if the security module allows the flow.
+func (k *Kernel) Kill(t *Task, target TID, sig Signal) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSignal)
+	dst, ok := k.tasks[target]
+	if !ok || dst.exited {
+		return ErrSrch
+	}
+	if k.sec != nil {
+		k.hookCalls++
+		if err := k.sec.TaskKill(t, dst, sig); err != nil {
+			return err
+		}
+	}
+	dst.sigs = append(dst.sigs, sig)
+	return nil
+}
+
+// SigPending drains and returns the task's pending signals.
+func (k *Kernel) SigPending(t *Task) []Signal {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := t.sigs
+	t.sigs = nil
+	return out
+}
+
+// --- Laminar label-management syscalls (Figure 3) ---
+
+// AllocTag implements alloc_tag: returns a fresh tag and grants the caller
+// t+ and t-.
+func (k *Kernel) AllocTag(t *Task) (difc.Tag, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return difc.InvalidTag, ErrNoSys
+	}
+	k.hookCalls++
+	return k.sec.AllocTag(t)
+}
+
+// SetTaskLabel implements set_task_label for the given label type.
+func (k *Kernel) SetTaskLabel(t *Task, typ LabelType, l difc.Label) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return ErrNoSys
+	}
+	k.hookCalls++
+	return k.sec.SetTaskLabel(t, typ, l)
+}
+
+// DropLabelTCB implements drop_label_tcb: clears target's labels without
+// capability checks; restricted by the module to tcb-tagged callers.
+func (k *Kernel) DropLabelTCB(t *Task, target TID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return ErrNoSys
+	}
+	dst, ok := k.tasks[target]
+	if !ok || dst.exited {
+		return ErrSrch
+	}
+	k.hookCalls++
+	return k.sec.DropLabelTCB(t, dst)
+}
+
+// DropCapabilities implements drop_capabilities; tmp suspends rather than
+// destroys (restored by RestoreCapabilities).
+func (k *Kernel) DropCapabilities(t *Task, caps []Capability, tmp bool) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return ErrNoSys
+	}
+	k.hookCalls++
+	return k.sec.DropCapabilities(t, caps, tmp)
+}
+
+// RestoreCapabilities undoes temporary capability drops.
+func (k *Kernel) RestoreCapabilities(t *Task) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return ErrNoSys
+	}
+	k.hookCalls++
+	return k.sec.RestoreCapabilities(t)
+}
+
+// WriteCapability implements write_capability: sends a capability to
+// another principal over a pipe.
+func (k *Kernel) WriteCapability(t *Task, cap Capability, fd FD) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return ErrNoSys
+	}
+	f, err := t.file(fd)
+	if err != nil {
+		return err
+	}
+	if f.Inode.Type != TypePipe {
+		return ErrInval
+	}
+	k.hookCalls++
+	return k.sec.WriteCapability(t, cap, f)
+}
+
+// ReadCapability claims a capability previously queued on the pipe.
+func (k *Kernel) ReadCapability(t *Task, fd FD) (Capability, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sec == nil {
+		return Capability{}, ErrNoSys
+	}
+	f, err := t.file(fd)
+	if err != nil {
+		return Capability{}, err
+	}
+	if f.Inode.Type != TypePipe {
+		return Capability{}, ErrInval
+	}
+	k.hookCalls++
+	return k.sec.ReadCapability(t, f)
+}
+
+// String describes the kernel configuration.
+func (k *Kernel) String() string {
+	name := k.SecurityModuleName()
+	if name == "" {
+		name = "none"
+	}
+	return fmt.Sprintf("kernel{lsm=%s}", name)
+}

@@ -1,0 +1,119 @@
+package lsm
+
+import (
+	"fmt"
+
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+)
+
+// This file implements capability persistence and login (§4.4): "The OS
+// stores the persistent capabilities for each user in a file. On login,
+// the OS gives the login shell all of the user's persistent capabilities,
+// just as it gives the shell access to the controlling terminal."
+
+// capsDir is where per-user persistent capability files live.
+const capsDir = "/etc/laminar/caps"
+
+// SaveUserCaps persists caps as user's capability file, written with the
+// acting (trusted, typically init/root) task's credentials. The admin task
+// must hold the administrator capabilities (granted to init at install
+// time): the caps directory lives under admin-integrity /etc, so the
+// writer raises its integrity for the duration.
+func (m *Module) SaveUserCaps(k *kernel.Kernel, admin *kernel.Task, user string, caps difc.CapSet) error {
+	restore, err := m.raiseAdminIntegrity(k, admin)
+	if err != nil {
+		return err
+	}
+	defer restore()
+	if err := ensureCapsDir(k, admin); err != nil {
+		return err
+	}
+	fd, err := k.Open(admin, capsDir+"/"+user, kernel.ORead|kernel.OWrite|kernel.OCreate|kernel.OTrunc)
+	if err != nil {
+		return err
+	}
+	defer k.Close(admin, fd)
+	if _, err := k.Write(admin, fd, []byte(caps.FormatText())); err != nil {
+		return err
+	}
+	return nil
+}
+
+// raiseAdminIntegrity adds the administrator tag to the task's integrity
+// label, returning a restore func that puts the previous label back.
+func (m *Module) raiseAdminIntegrity(k *kernel.Kernel, t *kernel.Task) (func(), error) {
+	prev := m.taskState(t).labels.I
+	raised := prev.Add(m.adminTag)
+	if err := k.SetTaskLabel(t, kernel.Integrity, raised); err != nil {
+		return nil, err
+	}
+	return func() { _ = k.SetTaskLabel(t, kernel.Integrity, prev) }, nil
+}
+
+// LoadUserCaps reads a user's persistent capability file.
+func (m *Module) LoadUserCaps(k *kernel.Kernel, admin *kernel.Task, user string) (difc.CapSet, error) {
+	fd, err := k.Open(admin, capsDir+"/"+user, kernel.ORead)
+	if err != nil {
+		return difc.EmptyCapSet, err
+	}
+	defer k.Close(admin, fd)
+	buf := make([]byte, 64*1024)
+	n, err := k.Read(admin, fd, buf)
+	if err != nil {
+		return difc.EmptyCapSet, err
+	}
+	return difc.ParseCapSetText(string(buf[:n]))
+}
+
+// Login spawns a fresh-process login shell task for user, grants it the
+// user's persistent capabilities, creates /home/<user> if missing, and
+// chdirs there. The shell starts unlabeled, like any fresh principal.
+func (m *Module) Login(k *kernel.Kernel, user string) (*kernel.Task, error) {
+	init := k.InitTask()
+	shell, err := k.Spawn(init, []kernel.Capability{}) // inherit no capabilities
+	if err != nil {
+		return nil, err
+	}
+	shell.User = user
+	caps, err := m.LoadUserCaps(k, init, user)
+	if err != nil && err != kernel.ErrNoEnt {
+		k.Exit(shell)
+		return nil, fmt.Errorf("login %s: %w", user, err)
+	}
+	s := m.taskState(shell)
+	s.labels = difc.Labels{}
+	s.caps = caps
+	home := "/home/" + user
+	if _, err := k.Stat(init, home); err == kernel.ErrNoEnt {
+		// Creating the home directory writes admin-integrity /home, so
+		// init raises its integrity; the home itself is created unlabeled
+		// so the user can populate it without trusting the administrator
+		// tag for writes.
+		restore, rerr := m.raiseAdminIntegrity(k, init)
+		if rerr != nil {
+			k.Exit(shell)
+			return nil, rerr
+		}
+		err := k.MkdirLabeled(init, home, 0o755, difc.Labels{})
+		restore()
+		if err != nil {
+			k.Exit(shell)
+			return nil, err
+		}
+	}
+	if err := k.Chdir(shell, home); err != nil {
+		k.Exit(shell)
+		return nil, err
+	}
+	return shell, nil
+}
+
+func ensureCapsDir(k *kernel.Kernel, admin *kernel.Task) error {
+	if _, err := k.Stat(admin, capsDir); err == kernel.ErrNoEnt {
+		return k.Mkdir(admin, capsDir, 0o700)
+	} else if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,458 @@
+// Package lsm is the Laminar security module: the simulated counterpart of
+// the ~1,000-line Linux Security Module plus ~500 lines of kernel changes
+// described in §5.2 of the paper. It attaches secrecy/integrity labels and
+// capability sets to tasks, inodes and files through the kernel's opaque
+// security fields, enforces the DIFC flow rules on every hooked operation,
+// and implements the label-management syscalls of Figure 3.
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+)
+
+// Xattr names under which labels persist, mirroring Laminar's use of ext3
+// extended attributes.
+const (
+	XattrSecrecy   = "security.laminar.secrecy"
+	XattrIntegrity = "security.laminar.integrity"
+)
+
+// taskSec is the security blob attached to a task: its current labels, its
+// capability set, and any temporarily suspended capabilities.
+type taskSec struct {
+	labels    difc.Labels
+	caps      difc.CapSet
+	suspended difc.CapSet
+}
+
+// inodeSec is the security blob attached to an inode.
+type inodeSec struct {
+	labels difc.Labels
+}
+
+// fileSec is attached to open file descriptions. Laminar checks labels on
+// every operation, so the blob carries no per-endpoint state; it exists to
+// mirror the LSM file blob and to let tests confirm attachment.
+type fileSec struct{}
+
+// Module implements kernel.SecurityModule with Laminar semantics.
+type Module struct {
+	nextTag atomic.Uint64
+
+	// tcbTag is the special integrity tag that marks the trusted VM
+	// thread allowed to call drop_label_tcb (§4.4).
+	tcbTag difc.Tag
+
+	// adminTag is the system-administrator integrity tag applied to
+	// system directories at install time (§5.2).
+	adminTag difc.Tag
+
+	// tcbProcs records processes that registered a trusted VM thread.
+	// Multithreaded processes WITHOUT one must keep all threads at the
+	// same labels (§4.1); the module enforces that by refusing label
+	// changes once such a process has more than one thread.
+	tcbProcs sync.Map // proc id (uint64) -> struct{}
+}
+
+var _ kernel.SecurityModule = (*Module)(nil)
+
+// New constructs the module and reserves its two well-known tags.
+func New() *Module {
+	m := &Module{}
+	m.tcbTag = m.allocate()
+	m.adminTag = m.allocate()
+	return m
+}
+
+func (m *Module) allocate() difc.Tag {
+	return difc.Tag(m.nextTag.Add(1))
+}
+
+// Name implements kernel.SecurityModule.
+func (m *Module) Name() string { return "laminar" }
+
+// TCBTag returns the trusted-VM integrity tag.
+func (m *Module) TCBTag() difc.Tag { return m.tcbTag }
+
+// AdminTag returns the system-administrator integrity tag.
+func (m *Module) AdminTag() difc.Tag { return m.adminTag }
+
+// taskState fetches (or lazily creates) a task's security blob. A task
+// that predates module attachment starts unlabeled with no capabilities.
+func (m *Module) taskState(t *kernel.Task) *taskSec {
+	if s, ok := t.Security.(*taskSec); ok {
+		return s
+	}
+	s := &taskSec{}
+	t.Security = s
+	return s
+}
+
+// inodeState fetches an inode's blob, falling back to the persisted xattr
+// labels so that labels survive module "reboots", as ext3 xattrs do.
+func (m *Module) inodeState(ino *kernel.Inode) *inodeSec {
+	if s, ok := ino.Security.(*inodeSec); ok {
+		return s
+	}
+	s := &inodeSec{}
+	if data, ok := ino.GetXattr(XattrSecrecy); ok {
+		if l, err := difc.UnmarshalLabel(data); err == nil {
+			s.labels.S = l
+		}
+	}
+	if data, ok := ino.GetXattr(XattrIntegrity); ok {
+		if l, err := difc.UnmarshalLabel(data); err == nil {
+			s.labels.I = l
+		}
+	}
+	ino.Security = s
+	return s
+}
+
+func (m *Module) persist(ino *kernel.Inode, labels difc.Labels) {
+	if ino.Type != kernel.TypeRegular && ino.Type != kernel.TypeDir {
+		return // pipes and devices have no persistent labels
+	}
+	if labels.IsEmpty() {
+		// Unlabeled files carry no xattrs at all (the implicit empty
+		// label, §3.1) — this keeps the common create path cheap, which
+		// is where Table 2's 0k-create number comes from.
+		if _, ok := ino.GetXattr(XattrSecrecy); !ok {
+			return
+		}
+	}
+	if data, err := labels.S.MarshalBinary(); err == nil {
+		ino.SetXattr(XattrSecrecy, data)
+	}
+	if data, err := labels.I.MarshalBinary(); err == nil {
+		ino.SetXattr(XattrIntegrity, data)
+	}
+}
+
+// TaskLabels reports a task's current labels (used by the VM runtime and
+// by tests; Linux would expose this through /proc).
+func (m *Module) TaskLabels(t *kernel.Task) difc.Labels { return m.taskState(t).labels }
+
+// TaskCaps reports a task's current capability set.
+func (m *Module) TaskCaps(t *kernel.Task) difc.CapSet { return m.taskState(t).caps }
+
+// InodeLabels reports an inode's labels.
+func (m *Module) InodeLabels(ino *kernel.Inode) difc.Labels { return m.inodeState(ino).labels }
+
+// GrantCapability hands t the kind capabilities for tag. This is the
+// trusted-path equivalent of receiving capabilities at login or from the
+// tag allocator; only trusted callers (the VM runtime, login) use it.
+func (m *Module) GrantCapability(t *kernel.Task, tag difc.Tag, kind difc.CapKind) {
+	s := m.taskState(t)
+	s.caps = s.caps.Grant(tag, kind)
+}
+
+// RegisterTCBThread marks t as the trusted VM thread of its process by
+// endorsing it with the tcb integrity tag. Only the VM's startup path
+// (trusted code) calls this. The process is thereafter allowed to hold
+// threads at heterogeneous labels: the VM regulates in-address-space
+// flows (§4.1).
+func (m *Module) RegisterTCBThread(t *kernel.Task) {
+	s := m.taskState(t)
+	s.labels.I = s.labels.I.Add(m.tcbTag)
+	m.tcbProcs.Store(t.Proc, struct{}{})
+}
+
+// InstallSystemIntegrity labels the system directories (/, /etc,
+// /etc/laminar, /home, /dev) with the administrator integrity tag, as done
+// at install time (§5.2). /tmp stays unlabeled as scratch space, so tasks
+// that eschew trust in the administrator can still create files there and
+// in their own labeled trees via relative paths.
+func (m *Module) InstallSystemIntegrity(k *kernel.Kernel) {
+	// The init task receives the administrator capabilities so that it can
+	// raise its integrity to {admin} when it must write system
+	// directories (installing caps files, creating home directories).
+	m.GrantCapability(k.InitTask(), m.adminTag, difc.CapBoth)
+	adminLabels := difc.Labels{I: difc.NewLabel(m.adminTag)}
+	label := func(ino *kernel.Inode) {
+		s := m.inodeState(ino)
+		s.labels = adminLabels
+		m.persist(ino, adminLabels)
+	}
+	root := k.Root()
+	label(root)
+	for _, path := range [][]string{{"etc"}, {"etc", "laminar"}, {"home"}, {"dev"}} {
+		ino := root
+		ok := true
+		for _, name := range path {
+			if ino, ok = ino.Child(name); !ok {
+				break
+			}
+		}
+		if ok {
+			label(ino)
+		}
+	}
+}
+
+// --- hook implementations ---
+
+// TaskAlloc implements fork inheritance: labels copy to the child; the
+// child's capabilities are the parent's restricted to keep (nil = all).
+func (m *Module) TaskAlloc(parent, child *kernel.Task, keep []kernel.Capability) error {
+	ps := m.taskState(parent)
+	cs := &taskSec{labels: ps.labels}
+	if keep == nil {
+		cs.caps = ps.caps
+	} else {
+		for _, c := range keep {
+			if !ps.caps.Has(c.Tag, c.Kind) {
+				return fmt.Errorf("%w: fork keep set exceeds parent capabilities (%v%v)", kernel.ErrPerm, c.Tag, c.Kind)
+			}
+			cs.caps = cs.caps.Grant(c.Tag, c.Kind)
+		}
+	}
+	child.Security = cs
+	return nil
+}
+
+// TaskFree clears the blob at exit.
+func (m *Module) TaskFree(t *kernel.Task) { t.Security = nil }
+
+// InodeInitSecurity labels a new inode. With explicit labels it enforces
+// the three labeled-create conditions of §5.2; otherwise the inode takes
+// the creating task's current labels (so a tainted thread's new files are
+// as secret as the thread).
+func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, labels *difc.Labels) error {
+	ts := m.taskState(t)
+	s := &inodeSec{}
+	if labels == nil {
+		s.labels = ts.labels
+	} else {
+		f := *labels
+		// (1) The creator's current secrecy must flow into the new file:
+		// Sp ⊆ Sf, so a tainted creator cannot launder its taint into a
+		// less-secret file.
+		if !ts.labels.S.SubsetOf(f.S) {
+			return fmt.Errorf("%w: creator secrecy %v exceeds file label %v", kernel.ErrPerm, ts.labels.S, f.S)
+		}
+		// (2) The creator must hold capabilities to acquire the file's
+		// labels: every secrecy tag it does not already carry needs the
+		// plus capability, and every integrity tag it endorses the file
+		// with needs the endorsement capability. (Holding t+ means the
+		// creator could raise itself to the label anyway, so granting the
+		// create directly is sound and avoids the traversal deadlock of
+		// requiring high-integrity tasks to read low-integrity parents.)
+		if !f.S.SubsetOf(ts.caps.Plus().Union(ts.labels.S)) {
+			return fmt.Errorf("%w: missing capability for secrecy label %v", kernel.ErrPerm, f.S)
+		}
+		if !f.I.SubsetOf(ts.caps.Plus().Union(ts.labels.I)) {
+			return fmt.Errorf("%w: missing capability for integrity label %v", kernel.ErrPerm, f.I)
+		}
+		// (3) Write access to the parent directory with the creator's
+		// *current* label is checked by the kernel's separate
+		// InodePermission(dir, MayWrite) hook call.
+		s.labels = f
+	}
+	ino.Security = s
+	m.persist(ino, s.labels)
+	return nil
+}
+
+// InodePermission enforces the flow rules between the task and the inode.
+func (m *Module) InodePermission(t *kernel.Task, ino *kernel.Inode, mask kernel.AccessMask) error {
+	return m.checkAccess(t, m.inodeState(ino).labels, mask)
+}
+
+// FilePermission enforces the flow rules on each file-descriptor
+// operation. Laminar has no endpoint abstraction: the label check happens
+// here, on every read and write (§2).
+func (m *Module) FilePermission(t *kernel.Task, f *kernel.File, mask kernel.AccessMask) error {
+	if _, ok := f.Security.(*fileSec); !ok {
+		f.Security = &fileSec{}
+	}
+	return m.checkAccess(t, m.inodeState(f.Inode).labels, mask)
+}
+
+// MmapFile treats a readable mapping as a read flow and a writable mapping
+// as a write flow.
+func (m *Module) MmapFile(t *kernel.Task, ino *kernel.Inode, prot int) error {
+	var mask kernel.AccessMask
+	if prot&kernel.ProtRead != 0 || prot&kernel.ProtExec != 0 {
+		mask |= kernel.MayRead
+	}
+	if prot&kernel.ProtWrite != 0 {
+		mask |= kernel.MayWrite
+	}
+	return m.checkAccess(t, m.inodeState(ino).labels, mask)
+}
+
+func (m *Module) checkAccess(t *kernel.Task, obj difc.Labels, mask kernel.AccessMask) error {
+	ts := m.taskState(t)
+	if mask&(kernel.MayRead|kernel.MayExec) != 0 {
+		if err := difc.CheckFlow("read", obj, ts.labels); err != nil {
+			return fmt.Errorf("%w: %v", kernel.ErrAccess, err)
+		}
+	}
+	if mask&kernel.MayWrite != 0 {
+		if err := difc.CheckFlow("write", ts.labels, obj); err != nil {
+			return fmt.Errorf("%w: %v", kernel.ErrAccess, err)
+		}
+	}
+	return nil
+}
+
+// TaskKill allows a signal only when information may flow from sender to
+// target.
+func (m *Module) TaskKill(t, target *kernel.Task, sig kernel.Signal) error {
+	src := m.taskState(t).labels
+	dst := m.taskState(target).labels
+	if err := difc.CheckFlow("signal", src, dst); err != nil {
+		return fmt.Errorf("%w: %v", kernel.ErrPerm, err)
+	}
+	return nil
+}
+
+// AllocTag mints a fresh tag and grants the caller both capabilities; the
+// caller becomes the tag's owner (§4.4). Tags are 64-bit, so exhaustion is
+// not a concern (§4.4).
+func (m *Module) AllocTag(t *kernel.Task) (difc.Tag, error) {
+	tag := m.allocate()
+	s := m.taskState(t)
+	s.caps = s.caps.Grant(tag, difc.CapBoth)
+	return tag, nil
+}
+
+// SetTaskLabel changes one of the caller's labels under the label-change
+// rule. Laminar requires explicit label changes (§3.2): there is no
+// implicit taint propagation.
+func (m *Module) SetTaskLabel(t *kernel.Task, typ kernel.LabelType, l difc.Label) error {
+	// §4.1: without a trusted VM mediating heap flows, all threads of a
+	// multithreaded process must share one label. Refuse per-thread label
+	// changes in such processes (single-threaded processes and processes
+	// with a registered VM are unrestricted).
+	if _, trusted := m.tcbProcs.Load(t.Proc); !trusted {
+		if t.Kernel().TasksInProc(t.Proc) > 1 {
+			return fmt.Errorf("%w: label change in a multithreaded process without a trusted VM", kernel.ErrPerm)
+		}
+	}
+	s := m.taskState(t)
+	var cur difc.Label
+	if typ == kernel.Secrecy {
+		cur = s.labels.S
+	} else {
+		cur = s.labels.I
+	}
+	if !difc.CanChange(cur, l, s.caps) {
+		return fmt.Errorf("%w: label change %v -> %v not permitted by %v", kernel.ErrPerm, cur, l, s.caps)
+	}
+	if typ == kernel.Secrecy {
+		s.labels.S = l
+	} else {
+		s.labels.I = l
+	}
+	return nil
+}
+
+// DropLabelTCB clears the target's labels without capability checks. Only
+// a task endorsed with the tcb integrity tag may call it, and only within
+// its own process, so a VM can never strip labels from other applications
+// (§4.4).
+func (m *Module) DropLabelTCB(t, target *kernel.Task) error {
+	ts := m.taskState(t)
+	if !ts.labels.I.Has(m.tcbTag) {
+		return fmt.Errorf("%w: drop_label_tcb requires the tcb integrity tag", kernel.ErrPerm)
+	}
+	if t.Proc != target.Proc {
+		return fmt.Errorf("%w: drop_label_tcb outside caller's process", kernel.ErrPerm)
+	}
+	tgt := m.taskState(target)
+	tgt.labels = difc.Labels{}
+	return nil
+}
+
+// SetLabelTCB sets the target's labels without capability checks, under
+// the same restrictions as DropLabelTCB (tcb tag, same process). The
+// paper's drop_label_tcb is the labels == {} special case; the trusted VM
+// needs the general form to restore a thread to the labels of the parent
+// security region on nested-region exit, where the thread may hold neither
+// the plus nor minus capabilities for the tags involved (§4.4).
+func (m *Module) SetLabelTCB(t, target *kernel.Task, labels difc.Labels) error {
+	ts := m.taskState(t)
+	if !ts.labels.I.Has(m.tcbTag) {
+		return fmt.Errorf("%w: set_label_tcb requires the tcb integrity tag", kernel.ErrPerm)
+	}
+	if t.Proc != target.Proc {
+		return fmt.Errorf("%w: set_label_tcb outside caller's process", kernel.ErrPerm)
+	}
+	m.taskState(target).labels = labels
+	return nil
+}
+
+// DropCapabilities removes the listed capabilities. tmp suspends them
+// (restorable); otherwise the drop is permanent, including any suspended
+// copy, which implements removeCapability(global=true).
+func (m *Module) DropCapabilities(t *kernel.Task, caps []kernel.Capability, tmp bool) error {
+	s := m.taskState(t)
+	for _, c := range caps {
+		if tmp {
+			if s.caps.Has(c.Tag, c.Kind) {
+				s.suspended = s.suspended.Grant(c.Tag, c.Kind)
+			}
+			s.caps = s.caps.Drop(c.Tag, c.Kind)
+		} else {
+			s.caps = s.caps.Drop(c.Tag, c.Kind)
+			s.suspended = s.suspended.Drop(c.Tag, c.Kind)
+		}
+	}
+	return nil
+}
+
+// RestoreCapabilities merges suspended capabilities back into the active
+// set.
+func (m *Module) RestoreCapabilities(t *kernel.Task) error {
+	s := m.taskState(t)
+	s.caps = s.caps.Union(s.suspended)
+	s.suspended = difc.EmptyCapSet
+	return nil
+}
+
+// capPayload is the opaque blob queued on pipes for capability transfer.
+type capPayload struct {
+	cap    kernel.Capability
+	sender difc.Labels
+}
+
+// WriteCapability queues a capability on the pipe. The sender must hold
+// the capability; the flow check against the pipe's label follows pipe
+// semantics — an illegal flow silently drops the capability so the result
+// cannot leak information.
+func (m *Module) WriteCapability(t *kernel.Task, c kernel.Capability, f *kernel.File) error {
+	s := m.taskState(t)
+	if !s.caps.Has(c.Tag, c.Kind) {
+		return fmt.Errorf("%w: sender does not hold %v%v", kernel.ErrPerm, c.Tag, c.Kind)
+	}
+	pipeLabels := m.inodeState(f.Inode).labels
+	if difc.CheckFlow("write", s.labels, pipeLabels) != nil {
+		return nil // silently dropped
+	}
+	f.Inode.PushCap(&capPayload{cap: c, sender: s.labels})
+	return nil
+}
+
+// ReadCapability claims a queued capability if the flow from the pipe to
+// the reader is legal.
+func (m *Module) ReadCapability(t *kernel.Task, f *kernel.File) (kernel.Capability, error) {
+	s := m.taskState(t)
+	pipeLabels := m.inodeState(f.Inode).labels
+	if err := difc.CheckFlow("read", pipeLabels, s.labels); err != nil {
+		return kernel.Capability{}, fmt.Errorf("%w: %v", kernel.ErrAccess, err)
+	}
+	v := f.Inode.PopCap()
+	if v == nil {
+		return kernel.Capability{}, kernel.ErrAgain
+	}
+	p := v.(*capPayload)
+	s.caps = s.caps.Grant(p.cap.Tag, p.cap.Kind)
+	return p.cap, nil
+}

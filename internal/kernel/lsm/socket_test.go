@@ -1,0 +1,72 @@
+package lsm
+
+import (
+	"errors"
+	"testing"
+
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+)
+
+func TestSocketSilentDropOnTaint(t *testing.T) {
+	k, m, user := boot(t)
+	a, b, err2 := func() (kernel.FD, kernel.FD, error) { return k.Socketpair(user) }()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	tag, _ := k.AllocTag(user)
+	taint(t, k, m, user, difc.NewLabel(tag))
+	// Tainted send on an unlabeled socket: silently dropped.
+	if n, err := k.Send(user, a, []byte("secret")); err != nil || n != 6 {
+		t.Fatalf("send = %d, %v (must appear to succeed)", n, err)
+	}
+	if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Recv(user, b, make([]byte, 8)); !errors.Is(err, kernel.ErrAgain) {
+		t.Errorf("recv after dropped send = %v, want EAGAIN", err)
+	}
+}
+
+func TestSocketLabeledConnection(t *testing.T) {
+	// A socket created by a tainted task carries the taint: equally
+	// tainted peers communicate; an untainted reader is rejected.
+	k, m, user := boot(t)
+	tag, _ := k.AllocTag(user)
+	taint(t, k, m, user, difc.NewLabel(tag))
+	a, b, err := k.Socketpair(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Send(user, a, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if n, err := k.Recv(user, b, buf); err != nil || n != 1 {
+		t.Fatalf("tainted recv = %d, %v", n, err)
+	}
+	if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Recv(user, b, buf); !errors.Is(err, kernel.ErrAccess) {
+		t.Errorf("untainted recv on tainted socket = %v, want EACCES", err)
+	}
+}
+
+func TestTaintedTaskCannotAdvertiseListener(t *testing.T) {
+	// A listener name is written into a shared namespace; a tainted task
+	// advertising one would leak through the name (the unsecured-network
+	// scenario from the paper's examples).
+	k, m, user := boot(t)
+	tag, _ := k.AllocTag(user)
+	taint(t, k, m, user, difc.NewLabel(tag))
+	if err := k.Listen(user, "covert"); !errors.Is(err, kernel.ErrAccess) {
+		t.Errorf("tainted listen = %v, want EACCES", err)
+	}
+	if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Listen(user, "public"); err != nil {
+		t.Errorf("untainted listen = %v", err)
+	}
+}

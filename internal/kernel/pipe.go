@@ -1,0 +1,48 @@
+package kernel
+
+// pipeBuf is the message buffer backing a pipe inode. Laminar pipes are
+// deliberately unreliable (§5.2): a write whose labels do not permit the
+// flow, or that lands in a full buffer, is silently dropped, because an
+// error code would itself leak information. Reads are non-blocking and
+// there is no EOF from writer exit, since an EOF notification from a
+// tainted writer would violate the flow rules.
+type pipeBuf struct {
+	buf []byte
+	max int
+	// capQueue holds capabilities in flight between principals
+	// (write_capability syscall). The payloads are opaque blobs owned by
+	// the security module; the kernel only queues and dequeues them.
+	capQueue []any
+}
+
+// pipeCapacity mirrors the 64 KiB default Linux pipe buffer.
+const pipeCapacity = 64 * 1024
+
+func newPipeBuf() *pipeBuf {
+	return &pipeBuf{max: pipeCapacity}
+}
+
+// write appends data, silently dropping the message if it does not fit.
+// It reports whether the message was delivered, but note that the syscall
+// layer never exposes that bit to the writer.
+func (p *pipeBuf) write(data []byte) bool {
+	if len(p.buf)+len(data) > p.max {
+		return false
+	}
+	p.buf = append(p.buf, data...)
+	return true
+}
+
+// read moves up to len(dst) bytes out of the buffer, returning the count.
+// An empty buffer returns 0; the syscall layer maps that to EAGAIN.
+func (p *pipeBuf) read(dst []byte) int {
+	n := copy(dst, p.buf)
+	if n > 0 {
+		rest := len(p.buf) - n
+		copy(p.buf, p.buf[n:])
+		p.buf = p.buf[:rest]
+	}
+	return n
+}
+
+func (p *pipeBuf) len() int { return len(p.buf) }

@@ -1,0 +1,106 @@
+package kernel
+
+import "laminar/internal/difc"
+
+// AccessMask describes the kind of access being checked by a permission
+// hook, mirroring the MAY_READ/MAY_WRITE/MAY_EXEC masks LSM hooks receive.
+type AccessMask uint8
+
+// Access mask bits.
+const (
+	MayRead AccessMask = 1 << iota
+	MayWrite
+	MayExec
+)
+
+// LabelType selects which of a principal's two labels a label-management
+// syscall operates on.
+type LabelType uint8
+
+// Label types for set_task_label.
+const (
+	Secrecy LabelType = iota
+	Integrity
+)
+
+// Capability names a single (tag, kind) capability for transfer and drop
+// operations.
+type Capability struct {
+	Tag  difc.Tag
+	Kind difc.CapKind
+}
+
+// SecurityModule is the hook table a security module registers with the
+// kernel — the simulated equivalent of struct security_operations. Every
+// hook receives the acting task; returning a non-nil error denies the
+// operation.
+//
+// The Laminar module (package lsm) implements all of these. Running the
+// kernel with a nil module reproduces unmodified Linux for the Table 2
+// baselines.
+type SecurityModule interface {
+	// Name identifies the module ("laminar").
+	Name() string
+
+	// TaskAlloc runs at fork: the module populates child.Security from
+	// parent (labels inherited, capabilities restricted to keep, which is
+	// nil to mean "all"). It must reject keep sets that exceed the
+	// parent's capabilities.
+	TaskAlloc(parent, child *Task, keep []Capability) error
+
+	// TaskFree runs at exit.
+	TaskFree(t *Task)
+
+	// InodeInitSecurity runs when an inode is created inside dir. labels
+	// is non-nil only for the create_file_labeled/mkdir_labeled syscalls;
+	// the module enforces the three labeled-create conditions of §5.2 and
+	// persists the result into the inode's xattrs.
+	InodeInitSecurity(t *Task, dir, inode *Inode, labels *difc.Labels) error
+
+	// InodePermission checks an access to an inode by path operations
+	// (stat, unlink, directory lookup). The mask says what the caller
+	// wants to do.
+	InodePermission(t *Task, inode *Inode, mask AccessMask) error
+
+	// FilePermission checks each read/write on an open file description,
+	// including pipe ends. Laminar checks every operation, so there is no
+	// Flume-style endpoint state.
+	FilePermission(t *Task, f *File, mask AccessMask) error
+
+	// MmapFile checks a file-backed mmap request.
+	MmapFile(t *Task, inode *Inode, prot int) error
+
+	// TaskKill checks signal delivery from t to target.
+	TaskKill(t *Task, target *Task, sig Signal) error
+
+	// --- Laminar label-management syscalls (Figure 3) ---
+
+	// AllocTag creates a fresh tag and grants the caller both
+	// capabilities for it.
+	AllocTag(t *Task) (difc.Tag, error)
+
+	// SetTaskLabel replaces the caller's label of the given type,
+	// enforcing the label-change rule against the caller's capabilities.
+	SetTaskLabel(t *Task, typ LabelType, l difc.Label) error
+
+	// DropLabelTCB clears the current labels of target without capability
+	// checks; only callable by a task carrying the special tcb integrity
+	// tag, and only for tasks in the caller's own process group (the VM's
+	// own threads).
+	DropLabelTCB(t *Task, target *Task) error
+
+	// DropCapabilities removes capabilities from the caller. When tmp is
+	// true the drop is a suspension that RestoreCapabilities can undo
+	// (used for the scope of a security region or across fork).
+	DropCapabilities(t *Task, caps []Capability, tmp bool) error
+
+	// RestoreCapabilities undoes temporary drops.
+	RestoreCapabilities(t *Task) error
+
+	// WriteCapability queues a capability on a pipe for the reader to
+	// claim; the module checks that sender labels permit the flow.
+	WriteCapability(t *Task, cap Capability, f *File) error
+
+	// ReadCapability claims a queued capability from a pipe.
+	ReadCapability(t *Task, f *File) (Capability, error)
+}

@@ -1,0 +1,184 @@
+package kernel
+
+// Sockets. The Laminar OS "governs information flows through all standard
+// OS interfaces, including through devices, files, pipes and sockets"
+// (§4.1). The simulated kernel models two socket shapes:
+//
+//   - Socketpair: a connected bidirectional pair (AF_UNIX style), used by
+//     the case studies for peer communication. Like pipes, sends that the
+//     security module rejects are silently dropped and reads are
+//     non-blocking, so delivery status cannot leak information.
+//
+//   - Listener/Connect: a named rendezvous in an in-kernel namespace so
+//     unrelated processes can connect (the "unsecured network channel" of
+//     the paper's examples is a socket to an unlabeled peer).
+//
+// A socket is a pair of pipe-like inodes, one per direction; each File
+// wraps the appropriate (read, write) ends, and the existing pipe label
+// semantics apply per direction.
+
+// socketFile tracks the two directions of one socket endpoint.
+type socketFile struct {
+	readBuf  *pipeBuf
+	writeBuf *pipeBuf
+}
+
+// workSocket mirrors pipe costs; connection setup costs more.
+const (
+	workSocketIO    = workPipeIO
+	workSocketSetup = 2000
+)
+
+// Socketpair creates a connected pair of sockets for task t, returning
+// two descriptors. The socket inode takes the creating task's labels via
+// InodeInitSecurity, like a pipe.
+func (k *Kernel) Socketpair(t *Task) (FD, FD, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSocketSetup)
+	a, b, err := k.newSocketPair(t)
+	if err != nil {
+		return -1, -1, err
+	}
+	return t.installFD(a), t.installFD(b), nil
+}
+
+func (k *Kernel) newSocketPair(t *Task) (*File, *File, error) {
+	ino := newInode(TypePipe, 0o600) // label carrier for the connection
+	if k.sec != nil {
+		k.hookCalls++
+		if err := k.sec.InodeInitSecurity(t, nil, ino, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	ab := newPipeBuf()
+	ba := newPipeBuf()
+	a := &File{Inode: ino, Flags: ORead | OWrite, sock: &socketFile{readBuf: ba, writeBuf: ab}}
+	b := &File{Inode: ino, Flags: ORead | OWrite, sock: &socketFile{readBuf: ab, writeBuf: ba}}
+	return a, b, nil
+}
+
+// Send writes data to a socket endpoint. Illegal flows and full buffers
+// drop silently, exactly like pipe writes (§5.2).
+func (k *Kernel) Send(t *Task, fd FD, data []byte) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSocketIO)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.sock == nil {
+		return 0, ErrInval
+	}
+	delivered := true
+	if k.sec != nil {
+		k.hookCalls++
+		if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
+			delivered = false
+		}
+	}
+	if delivered {
+		f.sock.writeBuf.write(data)
+	}
+	return len(data), nil
+}
+
+// Recv reads from a socket endpoint; empty buffers return EAGAIN.
+func (k *Kernel) Recv(t *Task, fd FD, buf []byte) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSocketIO)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.sock == nil {
+		return 0, ErrInval
+	}
+	if k.sec != nil {
+		k.hookCalls++
+		if err := k.sec.FilePermission(t, f, MayRead); err != nil {
+			return 0, err
+		}
+	}
+	n := f.sock.readBuf.read(buf)
+	if n == 0 {
+		return 0, ErrAgain
+	}
+	return n, nil
+}
+
+// Listen registers a named listener owned by t. The name lives in a flat
+// in-kernel namespace; creating a listener is writing that namespace, so
+// a tainted task cannot advertise a name (the name would leak), mirroring
+// the labeled-file-creation rule.
+func (k *Kernel) Listen(t *Task, name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSocketSetup)
+	if k.listeners == nil {
+		k.listeners = make(map[string]*listener)
+	}
+	if _, dup := k.listeners[name]; dup {
+		return ErrExist
+	}
+	if k.sec != nil {
+		k.hookCalls++
+		// The namespace is an unlabeled shared resource: advertising a
+		// name is a write to it, so a tainted task cannot leak through
+		// listener names.
+		if err := k.sec.InodePermission(t, k.socketNS, MayWrite); err != nil {
+			return err
+		}
+	}
+	k.listeners[name] = &listener{owner: t}
+	return nil
+}
+
+// listener is a pending-connection queue.
+type listener struct {
+	owner   *Task
+	pending []*File // accept-side endpoints awaiting Accept
+}
+
+// Connect creates a connection to the named listener and returns the
+// client endpoint. The connection inode takes the connecting task's
+// labels; whether the listener can use it is decided by the per-operation
+// checks on its side.
+func (k *Kernel) Connect(t *Task, name string) (FD, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSocketSetup)
+	l, ok := k.listeners[name]
+	if !ok {
+		return -1, ErrNoEnt
+	}
+	client, server, err := k.newSocketPair(t)
+	if err != nil {
+		return -1, err
+	}
+	l.pending = append(l.pending, server)
+	return t.installFD(client), nil
+}
+
+// Accept dequeues a pending connection on the named listener; EAGAIN when
+// none is waiting. Only the listener's owner may accept.
+func (k *Kernel) Accept(t *Task, name string) (FD, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	charge(workSocketSetup)
+	l, ok := k.listeners[name]
+	if !ok {
+		return -1, ErrNoEnt
+	}
+	if l.owner != t {
+		return -1, ErrPerm
+	}
+	if len(l.pending) == 0 {
+		return -1, ErrAgain
+	}
+	server := l.pending[0]
+	l.pending = l.pending[1:]
+	return t.installFD(server), nil
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSocketpairBasics(t *testing.T) {
+	k, init := bare(t)
+	a, b, err := k.Socketpair(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bidirectional: each end sends to the other.
+	if _, err := k.Send(init, a, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := k.Recv(init, b, buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("recv = %q, %v", buf[:n], err)
+	}
+	if _, err := k.Send(init, b, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = k.Recv(init, a, buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("recv = %q, %v", buf[:n], err)
+	}
+	// Empty: EAGAIN, never EOF.
+	if _, err := k.Recv(init, a, buf); !errors.Is(err, ErrAgain) {
+		t.Errorf("empty recv = %v, want EAGAIN", err)
+	}
+	// Send/Recv on a non-socket fd.
+	fd, _ := k.Open(init, "/tmp/f", OCreate|OWrite)
+	if _, err := k.Send(init, fd, nil); !errors.Is(err, ErrInval) {
+		t.Errorf("send on file = %v", err)
+	}
+	if _, err := k.Recv(init, fd, buf); !errors.Is(err, ErrInval) {
+		t.Errorf("recv on file = %v", err)
+	}
+}
+
+func TestListenConnectAccept(t *testing.T) {
+	k, init := bare(t)
+	server, _ := k.Fork(init, nil)
+	client, _ := k.Fork(init, nil)
+
+	if err := k.Listen(server, "chat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Listen(server, "chat"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate listen = %v", err)
+	}
+	// Accept before any connection: EAGAIN.
+	if _, err := k.Accept(server, "chat"); !errors.Is(err, ErrAgain) {
+		t.Errorf("early accept = %v", err)
+	}
+	cfd, err := k.Connect(client, "chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfd, err := k.Accept(server, "chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip across processes.
+	if _, err := k.Send(client, cfd, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := k.Recv(server, sfd, buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("server recv = %q, %v", buf[:n], err)
+	}
+	// Only the owner accepts.
+	if _, err := k.Accept(client, "chat"); !errors.Is(err, ErrPerm) {
+		t.Errorf("foreign accept = %v", err)
+	}
+	// Connect to a missing name.
+	if _, err := k.Connect(client, "nope"); !errors.Is(err, ErrNoEnt) {
+		t.Errorf("connect missing = %v", err)
+	}
+	if _, err := k.Accept(server, "nope"); !errors.Is(err, ErrNoEnt) {
+		t.Errorf("accept missing = %v", err)
+	}
+}

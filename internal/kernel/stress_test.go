@@ -1,0 +1,101 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSyscallStress drives the kernel from many goroutines at
+// once — file churn, pipe traffic, forks, signals — to shake out data
+// races under `go test -race`.
+func TestConcurrentSyscallStress(t *testing.T) {
+	k, init := bare(t)
+	const workers = 8
+	const iters = 100
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task, err := k.Fork(init, nil)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := k.Chdir(task, "/tmp"); err != nil {
+				errCh <- err
+				return
+			}
+			r, wr, err := k.Pipe(task)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			buf := make([]byte, 16)
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("w%d-%d", w, i)
+				fd, err := k.Open(task, name, OCreate|OWrite|ORead)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := k.Write(task, fd, []byte(name)); err != nil {
+					errCh <- err
+					return
+				}
+				k.Seek(task, fd, 0)
+				if _, err := k.Read(task, fd, buf); err != nil {
+					errCh <- err
+					return
+				}
+				k.Close(task, fd)
+				if err := k.Unlink(task, name); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := k.Write(task, wr, []byte("m")); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := k.Read(task, r, buf[:1]); err != nil && !errors.Is(err, ErrAgain) {
+					errCh <- err
+					return
+				}
+				child, err := k.Fork(task, nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := k.Kill(task, child.TID, SIGUSR1); err != nil {
+					errCh <- err
+					return
+				}
+				k.SigPending(child)
+				k.Exit(child)
+				if _, err := k.Stat(task, "/etc"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			k.Exit(task)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// /tmp drained back to empty.
+	names, err := k.ReadDir(init, "/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("/tmp residue: %v", names)
+	}
+}

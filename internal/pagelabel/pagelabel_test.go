@@ -1,0 +1,90 @@
+package pagelabel
+
+import (
+	"errors"
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+func TestAllocSharesPagesPerLabel(t *testing.T) {
+	h := NewHeap()
+	l := difc.Labels{S: difc.NewLabel(1)}
+	for i := 0; i < 8; i++ {
+		if _, err := h.Alloc(64, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.Stats(); st.Pages != 1 {
+		t.Errorf("pages = %d, want 1 (same-label objects share)", st.Pages)
+	}
+}
+
+func TestAllocSeparatesLabels(t *testing.T) {
+	h := NewHeap()
+	// 16 distinct labels, one tiny object each: 16 pages.
+	for i := 1; i <= 16; i++ {
+		l := difc.Labels{S: difc.NewLabel(difc.Tag(i))}
+		if _, err := h.Alloc(16, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := h.Stats()
+	if st.Pages != 16 || st.DistinctSets != 16 {
+		t.Errorf("pages = %d, distinct = %d, want 16/16", st.Pages, st.DistinctSets)
+	}
+	if st.BytesWasted != 16*(PageSize-16) {
+		t.Errorf("wasted = %d", st.BytesWasted)
+	}
+}
+
+func TestPageOverflowOpensNewPage(t *testing.T) {
+	h := NewHeap()
+	l := difc.Labels{}
+	if _, err := h.Alloc(PageSize, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.Pages != 2 {
+		t.Errorf("pages = %d, want 2", st.Pages)
+	}
+}
+
+func TestAllocBadSize(t *testing.T) {
+	h := NewHeap()
+	if _, err := h.Alloc(0, difc.Labels{}); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+	if _, err := h.Alloc(PageSize+1, difc.Labels{}); err == nil {
+		t.Error("oversized alloc accepted")
+	}
+}
+
+func TestAccessChecks(t *testing.T) {
+	h := NewHeap()
+	secret := difc.Labels{S: difc.NewLabel(9)}
+	o, err := h.Alloc(32, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Labels().Equal(secret) {
+		t.Errorf("labels = %v", o.Labels())
+	}
+	// Unlabeled thread cannot read, may write (up).
+	if err := h.Access(difc.Labels{}, o, false); !errors.Is(err, ErrFlow) {
+		t.Errorf("unlabeled read = %v", err)
+	}
+	if err := h.Access(difc.Labels{}, o, true); err != nil {
+		t.Errorf("write up = %v", err)
+	}
+	// Labeled thread reads fine, cannot write an unlabeled page.
+	if err := h.Access(secret, o, false); err != nil {
+		t.Errorf("labeled read = %v", err)
+	}
+	pub, _ := h.Alloc(32, difc.Labels{})
+	if err := h.Access(secret, pub, true); !errors.Is(err, ErrFlow) {
+		t.Errorf("tainted write down = %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package rt
+
+import (
+	"fmt"
+
+	"laminar/internal/difc"
+)
+
+// Audit support. Laminar's pitch includes auditability: security-relevant
+// behaviour is confined to security regions and explicit declassification
+// points, so a reviewer can watch exactly those events. The VM exposes an
+// optional audit hook that receives every region entry/exit, violation,
+// label change (CopyAndLabel) and capability movement. With a nil hook
+// the only cost is a nil check.
+
+// EventKind classifies audit events.
+type EventKind uint8
+
+// Audit event kinds.
+const (
+	EvRegionEnter EventKind = iota
+	EvRegionExit
+	EvViolation
+	EvCopyAndLabel
+	EvCapabilityGained
+	EvCapabilityDropped
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvRegionEnter:
+		return "region-enter"
+	case EvRegionExit:
+		return "region-exit"
+	case EvViolation:
+		return "violation"
+	case EvCopyAndLabel:
+		return "copy-and-label"
+	case EvCapabilityGained:
+		return "capability-gained"
+	case EvCapabilityDropped:
+		return "capability-dropped"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one audit record.
+type Event struct {
+	Kind   EventKind
+	Thread uint64      // kernel TID of the acting thread
+	Labels difc.Labels // region labels in force
+	// From and To carry label pairs for CopyAndLabel; Tag/CapKind carry
+	// capability movements; Err carries violations.
+	From difc.Labels
+	To   difc.Labels
+	Tag  difc.Tag
+	Cap  difc.CapKind
+	Err  error
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCopyAndLabel:
+		return fmt.Sprintf("[tid %d] %s %v -> %v", e.Thread, e.Kind, e.From, e.To)
+	case EvCapabilityGained, EvCapabilityDropped:
+		return fmt.Sprintf("[tid %d] %s %v%v", e.Thread, e.Kind, e.Tag, e.Cap)
+	case EvViolation:
+		return fmt.Sprintf("[tid %d] %s in %v: %v", e.Thread, e.Kind, e.Labels, e.Err)
+	default:
+		return fmt.Sprintf("[tid %d] %s %v", e.Thread, e.Kind, e.Labels)
+	}
+}
+
+// SetAudit installs the audit hook (nil disables). The hook runs inline
+// on the acting thread; it must not call back into the VM.
+func (vm *VM) SetAudit(fn func(Event)) { vm.audit = fn }
+
+// emit sends an event to the hook if one is installed.
+func (vm *VM) emit(e Event) {
+	if vm.audit != nil {
+		vm.audit(e)
+	}
+}

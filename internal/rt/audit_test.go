@@ -1,0 +1,93 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+func TestAuditTrail(t *testing.T) {
+	vm, main := newVM(t)
+	var events []Event
+	vm.SetAudit(func(e Event) { events = append(events, e) })
+
+	a, _ := main.CreateTag()
+	labels := difc.Labels{S: difc.NewLabel(a)}
+	minus := difc.NewCapSet(difc.EmptyLabel, difc.NewLabel(a))
+
+	// A full scenario: enter, violate (caught), declassify, exit.
+	low := NewObject()
+	main.Secure(labels, minus, func(r *Region) {
+		o := r.Alloc(nil)
+		r.Set(o, "x", 1)
+		// Violation (caught): write down.
+		func() {
+			defer func() { recover() }()
+			r.Set(low, "x", 1)
+		}()
+		// Declassify.
+		r.CopyAndLabel(o, difc.Labels{})
+		// Capability churn.
+		tag, err := r.CreateAndAddCapability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.RemoveCapability(tag, difc.CapMinus, false)
+	}, nil)
+
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Thread == 0 {
+			t.Errorf("event without thread id: %v", e)
+		}
+	}
+	for _, want := range []EventKind{
+		EvRegionEnter, EvRegionExit, EvViolation,
+		EvCopyAndLabel, EvCapabilityGained, EvCapabilityDropped,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v event recorded", want)
+		}
+	}
+	// Enter/exit balance.
+	if kinds[EvRegionEnter] != kinds[EvRegionExit] {
+		t.Errorf("enter %d != exit %d", kinds[EvRegionEnter], kinds[EvRegionExit])
+	}
+	// The declassification record carries both label pairs.
+	for _, e := range events {
+		if e.Kind == EvCopyAndLabel {
+			if !e.From.Equal(labels) || !e.To.IsEmpty() {
+				t.Errorf("copy event labels = %v -> %v", e.From, e.To)
+			}
+			if !strings.Contains(e.String(), "copy-and-label") {
+				t.Errorf("event String = %q", e.String())
+			}
+		}
+	}
+}
+
+func TestAuditDisabledByDefault(t *testing.T) {
+	_, main := newVM(t)
+	// No hook installed: everything works, nothing panics.
+	a, _ := main.CreateTag()
+	err := main.Secure(difc.Labels{S: difc.NewLabel(a)}, difc.EmptyCapSet, func(r *Region) {
+		o := r.Alloc(nil)
+		r.Set(o, "x", 1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvRegionEnter; k <= EvCapabilityDropped; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Error("unknown kind misnamed")
+	}
+}

@@ -1,0 +1,183 @@
+package rt
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Labeled collections. The paper's data objects include "individual
+// objects, arrays, lists, hash tables" (§3.1). These helpers build lists
+// and hash maps out of labeled heap objects, so every node access flows
+// through the same read/write barriers as a hand-rolled structure — a
+// region with the wrong labels cannot traverse even one link.
+//
+// All constructors allocate with the region's labels (pass-through to
+// Alloc); mixing structures across labels is caught by the barriers at
+// the first touched node.
+
+// List field layout.
+const (
+	listHead = "head"
+	listTail = "tail"
+	listLen  = "len"
+	nodeVal  = "val"
+	nodeNext = "next"
+)
+
+// NewList allocates an empty labeled linked list.
+func (r *Region) NewList() *Object {
+	l := r.Alloc(nil)
+	r.Set(l, listLen, 0)
+	return l
+}
+
+// ListAppend appends v to the list.
+func (r *Region) ListAppend(list *Object, v any) {
+	node := r.Alloc(nil)
+	r.Set(node, nodeVal, v)
+	n := r.Get(list, listLen).(int)
+	if n == 0 {
+		r.Set(list, listHead, node)
+	} else {
+		tail := r.Get(list, listTail).(*Object)
+		r.Set(tail, nodeNext, node)
+	}
+	r.Set(list, listTail, node)
+	r.Set(list, listLen, n+1)
+}
+
+// ListLen reports the list length.
+func (r *Region) ListLen(list *Object) int {
+	return r.Get(list, listLen).(int)
+}
+
+// ListGet returns element i; it panics with a Violation-style error on
+// out-of-range indices (the region's catch block receives it).
+func (r *Region) ListGet(list *Object, i int) any {
+	n := r.Get(list, listLen).(int)
+	if i < 0 || i >= n {
+		panic(&Violation{Op: "list-get", Err: fmt.Errorf("index %d out of range [0,%d)", i, n)})
+	}
+	node := r.Get(list, listHead).(*Object)
+	for ; i > 0; i-- {
+		node = r.Get(node, nodeNext).(*Object)
+	}
+	return r.Get(node, nodeVal)
+}
+
+// ListIterate walks the list until fn returns false.
+func (r *Region) ListIterate(list *Object, fn func(v any) bool) {
+	n := r.Get(list, listLen).(int)
+	if n == 0 {
+		return
+	}
+	node := r.Get(list, listHead).(*Object)
+	for i := 0; i < n; i++ {
+		if !fn(r.Get(node, nodeVal)) {
+			return
+		}
+		if i+1 < n {
+			node = r.Get(node, nodeNext).(*Object)
+		}
+	}
+}
+
+// Hash map layout: a labeled object with a bucket array; each bucket is a
+// chain of labeled entry nodes.
+const (
+	mapBuckets = "buckets"
+	mapCount   = "count"
+	entryKey   = "key"
+	entryVal   = "val"
+	entryNext  = "next"
+)
+
+// NewHashMap allocates a labeled chained hash map with the given bucket
+// count.
+func (r *Region) NewHashMap(buckets int) *Object {
+	if buckets < 1 {
+		buckets = 8
+	}
+	m := r.Alloc(nil)
+	arr := r.AllocArray(buckets, nil)
+	r.Set(m, mapBuckets, arr)
+	r.Set(m, mapCount, 0)
+	return m
+}
+
+func bucketOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % n
+}
+
+// MapPut inserts or replaces key's value.
+func (r *Region) MapPut(m *Object, key string, v any) {
+	arr := r.Get(m, mapBuckets).(*Object)
+	b := bucketOf(key, arr.Len())
+	cur := r.Index(arr, b)
+	for node, _ := cur.(*Object); node != nil; {
+		if r.Get(node, entryKey).(string) == key {
+			r.Set(node, entryVal, v)
+			return
+		}
+		next := r.Get(node, entryNext)
+		node, _ = next.(*Object)
+	}
+	entry := r.Alloc(nil)
+	r.Set(entry, entryKey, key)
+	r.Set(entry, entryVal, v)
+	if head, ok := cur.(*Object); ok {
+		r.Set(entry, entryNext, head)
+	}
+	r.SetIndex(arr, b, entry)
+	r.Set(m, mapCount, r.Get(m, mapCount).(int)+1)
+}
+
+// MapGet looks up key; the bool reports presence.
+func (r *Region) MapGet(m *Object, key string) (any, bool) {
+	arr := r.Get(m, mapBuckets).(*Object)
+	b := bucketOf(key, arr.Len())
+	cur := r.Index(arr, b)
+	for node, _ := cur.(*Object); node != nil; {
+		if r.Get(node, entryKey).(string) == key {
+			return r.Get(node, entryVal), true
+		}
+		next := r.Get(node, entryNext)
+		node, _ = next.(*Object)
+	}
+	return nil, false
+}
+
+// MapDelete removes key, reporting whether it was present.
+func (r *Region) MapDelete(m *Object, key string) bool {
+	arr := r.Get(m, mapBuckets).(*Object)
+	b := bucketOf(key, arr.Len())
+	cur := r.Index(arr, b)
+	var prev *Object
+	for node, _ := cur.(*Object); node != nil; {
+		if r.Get(node, entryKey).(string) == key {
+			next := r.Get(node, entryNext)
+			if prev == nil {
+				if nextObj, ok := next.(*Object); ok {
+					r.SetIndex(arr, b, nextObj)
+				} else {
+					r.SetIndex(arr, b, nil)
+				}
+			} else {
+				r.Set(prev, entryNext, next)
+			}
+			r.Set(m, mapCount, r.Get(m, mapCount).(int)-1)
+			return true
+		}
+		prev = node
+		next := r.Get(node, entryNext)
+		node, _ = next.(*Object)
+	}
+	return false
+}
+
+// MapLen reports the number of entries.
+func (r *Region) MapLen(m *Object) int {
+	return r.Get(m, mapCount).(int)
+}

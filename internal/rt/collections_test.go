@@ -1,0 +1,192 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+func TestListBasics(t *testing.T) {
+	_, main := newVM(t)
+	a, _ := main.CreateTag()
+	labels := difc.Labels{S: difc.NewLabel(a)}
+	err := main.Secure(labels, difc.EmptyCapSet, func(r *Region) {
+		l := r.NewList()
+		if r.ListLen(l) != 0 {
+			t.Errorf("fresh list len = %d", r.ListLen(l))
+		}
+		for i := 0; i < 10; i++ {
+			r.ListAppend(l, i*i)
+		}
+		if r.ListLen(l) != 10 {
+			t.Errorf("len = %d", r.ListLen(l))
+		}
+		if r.ListGet(l, 0) != 0 || r.ListGet(l, 9) != 81 {
+			t.Errorf("get = %v, %v", r.ListGet(l, 0), r.ListGet(l, 9))
+		}
+		sum := 0
+		r.ListIterate(l, func(v any) bool {
+			sum += v.(int)
+			return true
+		})
+		if sum != 285 {
+			t.Errorf("sum = %d", sum)
+		}
+		// Early termination.
+		count := 0
+		r.ListIterate(l, func(v any) bool {
+			count++
+			return count < 3
+		})
+		if count != 3 {
+			t.Errorf("early-stop count = %d", count)
+		}
+	}, func(r *Region, e any) {
+		t.Errorf("unexpected violation: %v", e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListOutOfRange(t *testing.T) {
+	_, main := newVM(t)
+	caught := false
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		l := r.NewList()
+		r.ListAppend(l, 1)
+		r.ListGet(l, 5)
+		t.Error("out-of-range get returned")
+	}, func(r *Region, e any) { caught = true })
+	if !caught {
+		t.Error("no violation for out-of-range index")
+	}
+}
+
+func TestListNodesAreLabelProtected(t *testing.T) {
+	// A list built in one region cannot be traversed by a region with
+	// different labels: the head access trips the barrier.
+	_, main := newVM(t)
+	a, _ := main.CreateTag()
+	b, _ := main.CreateTag()
+	var l *Object
+	main.Secure(difc.Labels{S: difc.NewLabel(a)}, difc.EmptyCapSet, func(r *Region) {
+		l = r.NewList()
+		r.ListAppend(l, "secret")
+	}, nil)
+	caught := false
+	main.Secure(difc.Labels{S: difc.NewLabel(b)}, difc.EmptyCapSet, func(r *Region) {
+		r.ListLen(l)
+	}, func(r *Region, e any) { caught = true })
+	if !caught {
+		t.Error("cross-label list traversal succeeded")
+	}
+}
+
+func TestHashMapBasics(t *testing.T) {
+	_, main := newVM(t)
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		m := r.NewHashMap(4)
+		if r.MapLen(m) != 0 {
+			t.Errorf("fresh map len = %d", r.MapLen(m))
+		}
+		for i := 0; i < 50; i++ {
+			r.MapPut(m, fmt.Sprintf("k%d", i), i)
+		}
+		if r.MapLen(m) != 50 {
+			t.Errorf("len = %d", r.MapLen(m))
+		}
+		for i := 0; i < 50; i++ {
+			v, ok := r.MapGet(m, fmt.Sprintf("k%d", i))
+			if !ok || v != i {
+				t.Errorf("get k%d = %v, %v", i, v, ok)
+			}
+		}
+		if _, ok := r.MapGet(m, "missing"); ok {
+			t.Error("missing key found")
+		}
+		// Replace.
+		r.MapPut(m, "k7", 700)
+		if v, _ := r.MapGet(m, "k7"); v != 700 {
+			t.Errorf("replaced = %v", v)
+		}
+		if r.MapLen(m) != 50 {
+			t.Errorf("len after replace = %d", r.MapLen(m))
+		}
+		// Delete.
+		if !r.MapDelete(m, "k7") {
+			t.Error("delete existing failed")
+		}
+		if r.MapDelete(m, "k7") {
+			t.Error("double delete succeeded")
+		}
+		if _, ok := r.MapGet(m, "k7"); ok {
+			t.Error("deleted key found")
+		}
+		if r.MapLen(m) != 49 {
+			t.Errorf("len after delete = %d", r.MapLen(m))
+		}
+	}, func(r *Region, e any) {
+		t.Errorf("unexpected violation: %v", e)
+	})
+}
+
+func TestHashMapModelCheck(t *testing.T) {
+	// Random op sequence against a plain Go map as reference.
+	_, main := newVM(t)
+	rng := rand.New(rand.NewSource(11))
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		m := r.NewHashMap(8)
+		ref := map[string]int{}
+		keys := make([]string, 20)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%d", i)
+		}
+		for op := 0; op < 2000; op++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Intn(1000)
+				r.MapPut(m, k, v)
+				ref[k] = v
+			case 1:
+				got, ok := r.MapGet(m, k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("op %d: get %q = %v,%v want %v,%v", op, k, got, ok, want, wok)
+				}
+			case 2:
+				got := r.MapDelete(m, k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("op %d: delete %q = %v want %v", op, k, got, want)
+				}
+				delete(ref, k)
+			}
+			if r.MapLen(m) != len(ref) {
+				t.Fatalf("op %d: len %d want %d", op, r.MapLen(m), len(ref))
+			}
+		}
+	}, func(r *Region, e any) {
+		t.Errorf("unexpected violation: %v", e)
+	})
+}
+
+func TestHashMapLabelProtected(t *testing.T) {
+	_, main := newVM(t)
+	a, _ := main.CreateTag()
+	var m *Object
+	main.Secure(difc.Labels{S: difc.NewLabel(a)}, difc.EmptyCapSet, func(r *Region) {
+		m = r.NewHashMap(4)
+		r.MapPut(m, "pin", 1234)
+	}, nil)
+	caught := false
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		r.MapGet(m, "pin")
+	}, func(r *Region, e any) { caught = true })
+	if !caught {
+		t.Error("unlabeled region read a labeled map")
+	}
+}

@@ -1,0 +1,110 @@
+package rt
+
+import (
+	"fmt"
+
+	"laminar/internal/difc"
+)
+
+// Labeled statics — the production extension sketched in §5.1: "A
+// production implementation could support labeling statics with modest
+// overhead because static accesses are relatively infrequent compared to
+// field and array element accesses." With VM.LabeledStatics enabled, a
+// static variable carries an immutable label pair fixed at first
+// definition, and region accesses are checked by the ordinary flow rules
+// instead of the prototype's blanket restrictions (no reads under
+// integrity labels, no writes under secrecy labels).
+//
+// The prototype rules remain the default; the ablation and tests exercise
+// both modes.
+
+// labeledStatic pairs a value with its immutable label.
+type labeledStatic struct {
+	value  any
+	labels difc.Labels
+}
+
+// EnableLabeledStatics switches the VM's statics table to labeled mode
+// (the production design). Must be called before any statics are used.
+func (vm *VM) EnableLabeledStatics() { vm.labeledStatics = true }
+
+// DefineStatic creates a labeled static variable with the given labels
+// and initial value. Requires labeled-statics mode. Like object labels,
+// static labels are immutable once defined (§4.5).
+func (vm *VM) DefineStatic(name string, labels difc.Labels, value any) error {
+	if !vm.labeledStatics {
+		return fmt.Errorf("rt: DefineStatic requires labeled-statics mode")
+	}
+	vm.statics.mu.Lock()
+	defer vm.statics.mu.Unlock()
+	if _, dup := vm.statics.m[name]; dup {
+		return fmt.Errorf("rt: static %q already defined", name)
+	}
+	vm.statics.m[name] = &labeledStatic{value: value, labels: labels}
+	return nil
+}
+
+// getStaticLabeled reads a labeled static under the flow rules.
+func (r *Region) getStaticLabeled(name string) any {
+	r.thread.vm.stats.ReadBarriers.Add(1)
+	s := r.thread.vm.statics
+	s.mu.RLock()
+	entry, ok := s.m[name].(*labeledStatic)
+	s.mu.RUnlock()
+	if !ok {
+		// Undefined statics read as unlabeled nil, like the prototype.
+		return nil
+	}
+	r.check("static-read", difc.CheckFlow("read", entry.labels, r.labels))
+	return entry.value
+}
+
+// setStaticLabeled writes a labeled static under the flow rules.
+func (r *Region) setStaticLabeled(name string, v any) {
+	r.thread.vm.stats.WriteBarriers.Add(1)
+	s := r.thread.vm.statics
+	s.mu.Lock()
+	entry, ok := s.m[name].(*labeledStatic)
+	if !ok {
+		// Implicit definition with the region's labels at first write —
+		// the static analogue of allocation-time labeling.
+		s.m[name] = &labeledStatic{value: v, labels: r.labels}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	r.check("static-write", difc.CheckFlow("write", r.labels, entry.labels))
+	s.mu.Lock()
+	entry.value = v
+	s.mu.Unlock()
+}
+
+// outside-region labeled-static access: the static must be unlabeled.
+func (t *Thread) getStaticLabeledOutside(name string) any {
+	s := t.vm.statics
+	s.mu.RLock()
+	entry, ok := s.m[name].(*labeledStatic)
+	s.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if !entry.labels.IsEmpty() {
+		panic(&Violation{Op: "static-read", Err: fmt.Errorf("labeled static %q accessed outside a security region", name)})
+	}
+	return entry.value
+}
+
+func (t *Thread) setStaticLabeledOutside(name string, v any) {
+	s := t.vm.statics
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.m[name].(*labeledStatic)
+	if !ok {
+		s.m[name] = &labeledStatic{value: v}
+		return
+	}
+	if !entry.labels.IsEmpty() {
+		panic(&Violation{Op: "static-write", Err: fmt.Errorf("labeled static %q accessed outside a security region", name)})
+	}
+	entry.value = v
+}

@@ -1,0 +1,124 @@
+package rt
+
+import (
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+func TestLabeledStaticsFlowRules(t *testing.T) {
+	vm, main := newVM(t)
+	vm.EnableLabeledStatics()
+	a, _ := main.CreateTag()
+	secret := difc.Labels{S: difc.NewLabel(a)}
+	if err := vm.DefineStatic("config", difc.Labels{}, "public"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.DefineStatic("key", secret, "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.DefineStatic("key", secret, "x"); err == nil {
+		t.Error("duplicate DefineStatic accepted")
+	}
+
+	// Region with the right label reads and writes the secret static.
+	main.Secure(secret, difc.EmptyCapSet, func(r *Region) {
+		if got := r.GetStatic("key"); got != "hunter2" {
+			t.Errorf("key = %v", got)
+		}
+		r.SetStatic("key", "rotated")
+		// Unlabeled static still readable (flow up).
+		if got := r.GetStatic("config"); got != "public" {
+			t.Errorf("config = %v", got)
+		}
+		// ...but not writable (write down).
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("secrecy region wrote unlabeled static")
+				}
+			}()
+			r.SetStatic("config", "leak")
+		}()
+	}, nil)
+
+	// Unlabeled region cannot read the secret static.
+	caught := false
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		r.GetStatic("key")
+	}, func(r *Region, e any) { caught = true })
+	if !caught {
+		t.Error("unlabeled region read a labeled static")
+	}
+
+	// Outside regions, labeled statics are off limits entirely.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("labeled static read outside region")
+			}
+		}()
+		main.GetStatic("key")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("labeled static written outside region")
+			}
+		}()
+		main.SetStatic("key", "oops")
+	}()
+	// Unlabeled statics work everywhere.
+	main.SetStatic("config", "v2")
+	if got := main.GetStatic("config"); got != "v2" {
+		t.Errorf("config = %v", got)
+	}
+}
+
+func TestLabeledStaticsImplicitDefinition(t *testing.T) {
+	vm, main := newVM(t)
+	vm.EnableLabeledStatics()
+	a, _ := main.CreateTag()
+	secret := difc.Labels{S: difc.NewLabel(a)}
+	// First write from inside a region labels the static with the
+	// region's labels (allocation-time labeling for statics).
+	main.Secure(secret, difc.EmptyCapSet, func(r *Region) {
+		r.SetStatic("cache", 99)
+		if got := r.GetStatic("cache"); got != 99 {
+			t.Errorf("cache = %v", got)
+		}
+	}, nil)
+	caught := false
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		r.GetStatic("cache")
+	}, func(r *Region, e any) { caught = true })
+	if !caught {
+		t.Error("implicitly labeled static readable without the label")
+	}
+	// Undefined statics read as nil.
+	main.Secure(difc.Labels{}, difc.EmptyCapSet, func(r *Region) {
+		if got := r.GetStatic("undefined"); got != nil {
+			t.Errorf("undefined static = %v", got)
+		}
+	}, nil)
+}
+
+func TestDefineStaticRequiresMode(t *testing.T) {
+	vm, _ := newVM(t)
+	if err := vm.DefineStatic("x", difc.Labels{}, 1); err == nil {
+		t.Error("DefineStatic without labeled-statics mode accepted")
+	}
+}
+
+func TestPrototypeStaticsUnchangedByDefault(t *testing.T) {
+	// With labeled statics off, the §5.1 prototype rules still apply.
+	_, main := newVM(t)
+	a, _ := main.CreateTag()
+	caught := false
+	main.Secure(difc.Labels{S: difc.NewLabel(a)}, difc.EmptyCapSet, func(r *Region) {
+		r.SetStatic("g", 1)
+	}, func(r *Region, e any) { caught = true })
+	if !caught {
+		t.Error("prototype secrecy-region static write succeeded")
+	}
+}

@@ -1,0 +1,85 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// staticsTable is the VM's global (static variable) table. The prototype
+// restrictions of §5.1 apply: a security region with secrecy labels may
+// not write statics (the write would leak on region exit), and a region
+// with integrity labels may not read them (statics carry no endorsement).
+// Outside regions, statics behave normally.
+type staticsTable struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+func newStaticsTable() *staticsTable {
+	return &staticsTable{m: make(map[string]any)}
+}
+
+// GetStatic reads a static variable from outside any security region.
+func (t *Thread) GetStatic(name string) any {
+	if t.InRegion() {
+		return t.region.GetStatic(name)
+	}
+	if t.vm.labeledStatics {
+		return t.getStaticLabeledOutside(name)
+	}
+	return t.vm.statics.get(name)
+}
+
+// SetStatic writes a static variable from outside any security region.
+func (t *Thread) SetStatic(name string, v any) {
+	if t.InRegion() {
+		t.region.SetStatic(name, v)
+		return
+	}
+	if t.vm.labeledStatics {
+		t.setStaticLabeledOutside(name, v)
+		return
+	}
+	t.vm.statics.set(name, v)
+}
+
+// GetStatic reads a static inside a region. In the default prototype mode
+// the read is rejected when the region has integrity labels (§5.1); in
+// labeled-statics mode the static's own label is flow-checked instead.
+func (r *Region) GetStatic(name string) any {
+	if r.thread.vm.labeledStatics {
+		return r.getStaticLabeled(name)
+	}
+	r.thread.vm.stats.ReadBarriers.Add(1)
+	if !r.labels.I.IsEmpty() {
+		r.check("static-read", fmt.Errorf("region with integrity label %v may not read statics", r.labels.I))
+	}
+	return r.thread.vm.statics.get(name)
+}
+
+// SetStatic writes a static inside a region. In the default prototype
+// mode the write is rejected when the region has secrecy labels; in
+// labeled-statics mode the static's own label is flow-checked.
+func (r *Region) SetStatic(name string, v any) {
+	if r.thread.vm.labeledStatics {
+		r.setStaticLabeled(name, v)
+		return
+	}
+	r.thread.vm.stats.WriteBarriers.Add(1)
+	if !r.labels.S.IsEmpty() {
+		r.check("static-write", fmt.Errorf("region with secrecy label %v may not write statics", r.labels.S))
+	}
+	r.thread.vm.statics.set(name, v)
+}
+
+func (s *staticsTable) get(name string) any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[name]
+}
+
+func (s *staticsTable) set(name string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = v
+}

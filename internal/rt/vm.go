@@ -1,0 +1,107 @@
+// Package rt is the Laminar virtual-machine runtime: the trusted component
+// that enforces DIFC inside one process's address space (§4, §5.1 of Roy
+// et al., PLDI 2009). It provides thread principals, lexically scoped
+// security regions with the paper's secure/catch semantics, a labeled
+// object space with read/write/allocation barriers, restricted statics,
+// and the bridge to the simulated kernel (labels are pushed to the kernel
+// task lazily, only when a region performs a system call — the §4.4
+// optimization).
+//
+// The real Laminar modifies Jikes RVM so the JIT inserts barriers at every
+// field and array access. Go's runtime cannot be instrumented that way, so
+// this package exposes the barriers as an explicit API over rt.Object
+// heap values: every access runs exactly the check the paper's compiled
+// barrier runs. The MiniJVM substrate (package jvm) layers the
+// compiler-inserted-barrier model on top for the barrier-placement and
+// optimization experiments.
+package rt
+
+import (
+	"sync/atomic"
+	"time"
+
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+	"laminar/internal/kernel/lsm"
+)
+
+// VM is the trusted runtime for one process. It owns a tcb-endorsed kernel
+// thread used to reset thread labels at region exit, a statics table, and
+// the accounting used by the evaluation harness.
+type VM struct {
+	k   *kernel.Kernel
+	mod *lsm.Module
+	tcb *kernel.Task
+
+	// EagerSync pushes thread labels to the kernel at every region entry
+	// and exit instead of only before syscalls. Disabled by default; the
+	// ablation benchmark toggles it.
+	EagerSync bool
+
+	statics        *staticsTable
+	stats          Stats
+	audit          func(Event)
+	labeledStatics bool
+}
+
+// Stats counts the dynamic security work the VM performs, feeding the
+// Figure 9 overhead breakdown and Table 3's %-time-in-SR column.
+type Stats struct {
+	RegionsEntered atomic.Uint64
+	ReadBarriers   atomic.Uint64
+	WriteBarriers  atomic.Uint64
+	AllocBarriers  atomic.Uint64
+	DynamicChecks  atomic.Uint64 // dynamic-barrier "am I in a region?" checks
+	LabelSyncs     atomic.Uint64 // set_task_label / set_label_tcb syscalls
+	RegionNanos    atomic.Int64  // wall time spent inside security regions
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.RegionsEntered.Store(0)
+	s.ReadBarriers.Store(0)
+	s.WriteBarriers.Store(0)
+	s.AllocBarriers.Store(0)
+	s.DynamicChecks.Store(0)
+	s.LabelSyncs.Store(0)
+	s.RegionNanos.Store(0)
+}
+
+// New creates a VM for a fresh process under the given kernel and module.
+// owner is the task (typically a login shell) launching the VM; the VM's
+// threads are forked from it, and a dedicated tcb thread is registered
+// with the module (§4.4: a single, auditable high-integrity thread).
+func New(k *kernel.Kernel, mod *lsm.Module, owner *kernel.Task) (*VM, *Thread, error) {
+	main, err := k.Spawn(owner, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcb, err := k.Fork(main, []kernel.Capability{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mod.RegisterTCBThread(tcb)
+	vm := &VM{k: k, mod: mod, tcb: tcb, statics: newStaticsTable()}
+	mt := &Thread{vm: vm, task: main, caps: mod.TaskCaps(main)}
+	return vm, mt, nil
+}
+
+// Kernel returns the kernel this VM runs on.
+func (vm *VM) Kernel() *kernel.Kernel { return vm.k }
+
+// Module returns the Laminar security module.
+func (vm *VM) Module() *lsm.Module { return vm.mod }
+
+// Stats exposes the VM's dynamic-check counters.
+func (vm *VM) Stats() *Stats { return &vm.stats }
+
+// setKernelLabels pushes labels onto the thread's kernel task using the
+// trusted tcb path, which works regardless of the thread's capabilities
+// (needed when leaving a region whose tags the thread cannot drop).
+func (vm *VM) setKernelLabels(t *Thread, labels difc.Labels) error {
+	vm.stats.LabelSyncs.Add(1)
+	return vm.mod.SetLabelTCB(vm.tcb, t.task, labels)
+}
+
+// now is indirected for tests.
+var now = time.Now

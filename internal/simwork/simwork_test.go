@@ -1,0 +1,32 @@
+package simwork
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDoScalesWithUnits(t *testing.T) {
+	// More units must cost more time; exact timing is platform noise, so
+	// compare a 50x spread.
+	small := time.Duration(0)
+	large := time.Duration(0)
+	for trial := 0; trial < 5; trial++ {
+		s := time.Now()
+		Do(2000)
+		if d := time.Since(s); trial == 0 || d < small {
+			small = d
+		}
+		s = time.Now()
+		Do(100000)
+		if d := time.Since(s); trial == 0 || d < large {
+			large = d
+		}
+	}
+	if large <= small {
+		t.Errorf("Do(100000)=%v <= Do(2000)=%v", large, small)
+	}
+}
+
+func TestDoZeroIsCheap(t *testing.T) {
+	Do(0) // must not panic or hang
+}

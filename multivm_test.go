@@ -1,0 +1,133 @@
+package laminar_test
+
+import (
+	"errors"
+	"testing"
+
+	"laminar"
+	"laminar/internal/kernel"
+)
+
+// TestTwoVMsShareOneKernel runs two trusted VMs (two processes) on one
+// kernel: labels allocated in one VM's process protect files against the
+// other, the tcb authority of one VM cannot touch the other's threads,
+// and a labeled file is the only shared channel — exactly the paper's
+// deployment story of multiple Laminar applications on one OS.
+func TestTwoVMsShareOneKernel(t *testing.T) {
+	sys := laminar.NewSystem()
+	k := sys.Kernel()
+
+	shellA, err := sys.Login("appA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, thA, err := sys.LaunchVM(shellA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shellB, err := sys.Login("appB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, thB, err := sys.LaunchVM(shellB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thA.Task().Proc == thB.Task().Proc {
+		t.Fatal("two VMs share a process")
+	}
+	for _, th := range []*laminar.Thread{thA, thB} {
+		if err := k.Chdir(th.Task(), "/tmp"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// App A creates a labeled file.
+	tag, err := thA.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := laminar.Labels{S: laminar.NewLabel(tag)}
+	fd, err := k.CreateFileLabeled(thA.Task(), "shared", 0o600, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Close(thA.Task(), fd)
+	err = thA.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {
+		wfd, err := r.OpenFile("shared", laminar.OWrite)
+		if err != nil {
+			panic(err)
+		}
+		defer r.CloseFile(wfd)
+		r.WriteFile(wfd, []byte("cross-app secret"))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// App B cannot read it without the capability...
+	if _, err := k.Open(thB.Task(), "shared", laminar.ORead); !errors.Is(err, kernel.ErrAccess) {
+		t.Fatalf("appB open = %v, want EACCES", err)
+	}
+	if err := thB.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {}, nil); err == nil {
+		t.Fatal("appB entered appA's label without the capability")
+	}
+
+	// ...until A sends tag+ over a pipe across process boundaries.
+	rp, wp, err := k.Pipe(thA.Task())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := k.DupTo(thA.Task(), rp, thB.Task())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thA.SendCapability(laminar.Capability{Tag: tag, Kind: laminar.CapPlus}, wp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := thB.ReceiveCapability(rb); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	err = thB.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {
+		rfd, err := r.OpenFile("shared", laminar.ORead)
+		if err != nil {
+			panic(err)
+		}
+		defer r.CloseFile(rfd)
+		buf := make([]byte, 32)
+		n, err := r.ReadFile(rfd, buf)
+		if err != nil {
+			panic(err)
+		}
+		got = string(buf[:n])
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "cross-app secret" {
+		t.Errorf("appB read %q", got)
+	}
+
+	// One VM's tcb cannot strip labels from the other VM's threads: taint
+	// B's thread, then verify A's trusted path cannot clear it. (The
+	// kernel enforces drop_label_tcb's same-process rule; the VM API
+	// never exposes cross-process drops, so probe at the kernel level.)
+	mod := sys.Module()
+	if err := k.SetTaskLabel(thB.Task(), kernel.Secrecy, secret.S); err != nil {
+		t.Fatal(err)
+	}
+	// Find A's tcb task: it is in A's process; simplest check is that a
+	// tcb-tagged task from A's process cannot clear B's labels — the lsm
+	// test suite covers the negative directly; here we assert B's label
+	// is intact after A's regions run.
+	thA.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {}, nil)
+	if got := mod.TaskLabels(thB.Task()); !got.Equal(secret) {
+		t.Errorf("appB labels changed by appA's activity: %v", got)
+	}
+	// B holds only tag+, so even B itself cannot shed the taint — the
+	// declassification capability stayed with A.
+	if err := k.SetTaskLabel(thB.Task(), kernel.Secrecy, laminar.EmptyLabel); !errors.Is(err, kernel.ErrPerm) {
+		t.Errorf("appB dropped its taint without tag-: %v", err)
+	}
+}

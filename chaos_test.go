@@ -1,0 +1,87 @@
+package laminar_test
+
+import (
+	"testing"
+
+	"laminar/internal/chaos"
+	"laminar/internal/faultinject"
+)
+
+// chaosRates is the mixed fault cocktail the seeded schedules run under:
+// errors, crashes and delays all active, frequent enough that a 200-op run
+// sees dozens of faults.
+var chaosRates = faultinject.Rates{Error: 0.02, Crash: 0.004, Delay: 0.02}
+
+// TestChaos runs many distinct seeded fault schedules concurrently (each
+// schedule is single-threaded; the parallelism across seeds is what -race
+// observes) and requires zero invariant violations on every one. On
+// failure it logs the seed and the byte-for-byte reproducible fault
+// schedule.
+func TestChaos(t *testing.T) {
+	const seeds = 60
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep := chaos.Run(chaos.Config{
+				Seed:   seed,
+				Ops:    200,
+				Rates:  chaosRates,
+				Record: true,
+			})
+			if len(rep.Violations) > 0 {
+				t.Errorf("seed %d: %d invariant violations:", seed, len(rep.Violations))
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+				t.Logf("reproduce with: go run ./cmd/laminar-chaos -seed %d -ops %d", seed, rep.Ops)
+				t.Logf("fault schedule:\n%s", rep.Schedule)
+			}
+		})
+	}
+}
+
+// TestChaosSmoke is the fixed-seed run CI executes on every push: one
+// schedule, deterministic, fast, with the full invariant sweep.
+func TestChaosSmoke(t *testing.T) {
+	rep := chaos.Run(chaos.Config{Seed: 42, Ops: 300, Rates: chaosRates, Record: true})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Logf("fault schedule:\n%s", rep.Schedule)
+	}
+	if rep.Faults == 0 {
+		t.Fatalf("smoke schedule injected no faults; rates not wired through")
+	}
+}
+
+// TestChaosReproducible verifies the tentpole's core promise: the same
+// seed yields the byte-for-byte identical fault schedule and the same
+// violation set on every run.
+func TestChaosReproducible(t *testing.T) {
+	cfg := chaos.Config{Seed: 7, Ops: 150, Rates: chaosRates, Record: true}
+	a := chaos.Run(cfg)
+	b := chaos.Run(cfg)
+	if a.Schedule != b.Schedule {
+		t.Fatalf("same seed produced different schedules:\n--- run 1\n%s\n--- run 2\n%s", a.Schedule, b.Schedule)
+	}
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("same seed produced different violations: %v vs %v", a.Violations, b.Violations)
+	}
+	if a.Faults != b.Faults {
+		t.Fatalf("same seed produced different fault counts: %d vs %d", a.Faults, b.Faults)
+	}
+}
+
+// TestChaosFaultFree runs the workload with zero fault rates: the
+// invariants must hold trivially, proving the workload itself is sound.
+func TestChaosFaultFree(t *testing.T) {
+	rep := chaos.Run(chaos.Config{Seed: 3, Ops: 200})
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations with no faults injected: %v", rep.Violations)
+	}
+	if rep.Faults != 0 {
+		t.Fatalf("fault-free run reported %d faults", rep.Faults)
+	}
+}

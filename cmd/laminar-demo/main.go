@@ -66,8 +66,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := k.Open(scheduler.Task(), "alice.cal", laminar.ORead); errors.Is(err, kernel.ErrAccess) {
-		fmt.Println("scheduler without a+ opens alice.cal: EACCES")
+	if _, err := k.Open(scheduler.Task(), "alice.cal", laminar.ORead); errors.Is(err, kernel.ErrNoEnt) {
+		// Read denials surface as ENOENT so the denial itself cannot
+		// confirm that the name exists.
+		fmt.Println("scheduler without a+ opens alice.cal: ENOENT")
 	}
 
 	// ...until Alice sends it a+ over a pipe (write_capability).

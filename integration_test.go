@@ -59,8 +59,8 @@ func TestEndToEndCalendarScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := k.Open(sched.Task(), "alice.cal", laminar.ORead); !errors.Is(err, kernel.ErrAccess) {
-		t.Fatalf("capability-less open = %v, want EACCES", err)
+	if _, err := k.Open(sched.Task(), "alice.cal", laminar.ORead); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Fatalf("capability-less open = %v, want ENOENT", err)
 	}
 
 	// Alice hands a+ over a pipe; the scheduler can then read inside a

@@ -1,6 +1,7 @@
 package freecs
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -24,6 +25,36 @@ import (
 // the simulated kernel never blocks a task — so the server runs as a pump
 // the caller drives (Pump processes all pending work).
 
+// Robustness limits. The transport assumes the kernel can fail any socket
+// call (fault injection, dead peers): retries are bounded, backoff is a
+// deterministic doubling counted in Pump calls (no wall clock, so chaos
+// schedules replay exactly), and connections that keep failing — or that
+// arrive beyond capacity — are shed rather than retried forever.
+const (
+	// maxConns bounds live connections; new accepts beyond it are closed
+	// immediately (shed at the door).
+	maxConns = 64
+	// maxConnFailures sheds a connection after this many hard errors.
+	maxConnFailures = 3
+	// maxBackoffRounds caps the doubling: the longest wait is
+	// 2^maxBackoffRounds Pump calls.
+	maxBackoffRounds = 8
+	// maxAcceptPerPump bounds accept work per Pump so one pump cannot be
+	// monopolized by a connect flood.
+	maxAcceptPerPump = 32
+	// dialRetries bounds connect attempts from the client side.
+	dialRetries = 3
+)
+
+// backoffFor returns the deterministic wait, in Pump calls, after the n-th
+// consecutive failure: 2, 4, 8, ... capped at 2^maxBackoffRounds.
+func backoffFor(failures int) int {
+	if failures > maxBackoffRounds {
+		failures = maxBackoffRounds
+	}
+	return 1 << failures
+}
+
 // Listener is the socket front end of a Server.
 type Listener struct {
 	srv  *Server
@@ -31,12 +62,25 @@ type Listener struct {
 	k    *kernel.Kernel
 
 	conns []*conn
+
+	// acceptFailures/acceptWait implement backoff for the accept path.
+	acceptFailures int
+	acceptWait     int
+
+	// shed counts connections dropped for capacity or repeated failure
+	// (tests assert the bound actually engages).
+	shed int
 }
 
 type conn struct {
 	fd     kernel.FD
 	user   *ChatUser
 	closed bool
+
+	// failures counts consecutive hard errors on this connection; wait is
+	// the remaining backoff in Pump calls before it is serviced again.
+	failures int
+	wait     int
 }
 
 // ListenAndServe registers the socket listener for the chat server.
@@ -52,32 +96,128 @@ func (s *Server) ListenAndServe(name string) (*Listener, error) {
 // connection; it reports how many commands it executed. Call in a loop
 // until it returns 0 to drain.
 func (l *Listener) Pump() int {
-	// Accept everything waiting.
-	for {
-		fd, err := l.k.Accept(l.srv.main.Task(), l.name)
-		if err != nil {
-			break
-		}
-		l.conns = append(l.conns, &conn{fd: fd})
-	}
+	l.acceptPending()
 	executed := 0
 	for _, c := range l.conns {
 		if c.closed {
 			continue
 		}
-		buf := make([]byte, 1024)
-		n, err := l.k.Recv(l.srv.main.Task(), c.fd, buf)
-		if err != nil || n == 0 {
+		if c.wait > 0 {
+			c.wait--
 			continue
 		}
+		buf := make([]byte, 1024)
+		n, err := l.k.Recv(l.srv.main.Task(), c.fd, buf)
+		if err != nil {
+			if !errors.Is(err, kernel.ErrAgain) {
+				// A hard error (dead peer, injected I/O fault): back off
+				// deterministically, shed after the retry budget.
+				l.connFailed(c)
+			}
+			continue
+		}
+		if n == 0 {
+			continue
+		}
+		c.failures = 0
 		for _, line := range strings.Split(strings.TrimSpace(string(buf[:n])), "\n") {
 			reply := l.dispatch(c, line)
-			l.k.Send(l.srv.main.Task(), c.fd, []byte(reply+"\n"))
+			if _, err := l.k.Send(l.srv.main.Task(), c.fd, []byte(reply+"\n")); err != nil {
+				l.connFailed(c)
+				break
+			}
 			executed++
 		}
+		if c.closed && c.fd >= 0 {
+			// Voluntary QUIT: release the descriptor after the farewell.
+			l.k.Close(l.srv.main.Task(), c.fd)
+			c.fd = -1
+		}
 	}
+	l.compact()
 	return executed
 }
+
+// acceptPending drains the listen queue, bounded per pump and per the
+// connection cap, with backoff after accept faults.
+func (l *Listener) acceptPending() {
+	if l.acceptWait > 0 {
+		l.acceptWait--
+		return
+	}
+	for i := 0; i < maxAcceptPerPump; i++ {
+		fd, err := l.k.Accept(l.srv.main.Task(), l.name)
+		if err != nil {
+			if !errors.Is(err, kernel.ErrAgain) {
+				l.acceptFailures++
+				l.acceptWait = backoffFor(l.acceptFailures)
+			}
+			return
+		}
+		l.acceptFailures = 0
+		if l.liveConns() >= maxConns {
+			// Over capacity: shed at the door instead of queueing work the
+			// pump can never catch up on.
+			l.k.Close(l.srv.main.Task(), fd)
+			l.shed++
+			continue
+		}
+		l.conns = append(l.conns, &conn{fd: fd})
+	}
+}
+
+// connFailed records a hard error on the connection, backing off and
+// shedding once the retry budget is spent.
+func (l *Listener) connFailed(c *conn) {
+	c.failures++
+	if c.failures >= maxConnFailures {
+		l.dropConn(c)
+		return
+	}
+	c.wait = backoffFor(c.failures)
+}
+
+// dropConn closes and logs out a connection.
+func (l *Listener) dropConn(c *conn) {
+	if c.user != nil {
+		l.srv.Logout(c.user)
+		c.user = nil
+	}
+	if c.fd >= 0 {
+		l.k.Close(l.srv.main.Task(), c.fd)
+		c.fd = -1
+	}
+	c.closed = true
+	l.shed++
+}
+
+// compact removes closed connections from the slice.
+func (l *Listener) compact() {
+	live := l.conns[:0]
+	for _, c := range l.conns {
+		if !c.closed {
+			live = append(live, c)
+		}
+	}
+	for i := len(live); i < len(l.conns); i++ {
+		l.conns[i] = nil
+	}
+	l.conns = live
+}
+
+func (l *Listener) liveConns() int {
+	n := 0
+	for _, c := range l.conns {
+		if !c.closed {
+			n++
+		}
+	}
+	return n
+}
+
+// Shed reports how many connections the listener has dropped for capacity
+// or repeated failures.
+func (l *Listener) Shed() int { return l.shed }
 
 // dispatch executes one protocol line for a connection.
 func (l *Listener) dispatch(c *conn, line string) string {
@@ -151,7 +291,7 @@ func (l *Listener) dispatch(c *conn, line string) string {
 	case "QUIT":
 		l.srv.Logout(c.user)
 		c.user = nil
-		c.closed = true
+		c.closed = true // fd closed by Pump after the farewell is sent
 		return "OK bye"
 	default:
 		return fmt.Sprintf("ERR unknown command %q", cmd)
@@ -165,19 +305,31 @@ type Client struct {
 	fd   kernel.FD
 }
 
-// Dial connects a fresh task to the named chat listener.
+// Dial connects a fresh task to the named chat listener, retrying a
+// bounded number of times over transient (injected) connect faults.
 func Dial(sys *laminar.System, name string) (*Client, error) {
 	k := sys.Kernel()
 	task, err := k.Spawn(k.InitTask(), []kernel.Capability{})
 	if err != nil {
 		return nil, err
 	}
-	fd, err := k.Connect(task, name)
-	if err != nil {
-		return nil, err
+	var fd kernel.FD
+	for attempt := 0; ; attempt++ {
+		fd, err = k.Connect(task, name)
+		if err == nil {
+			break
+		}
+		if attempt+1 >= dialRetries || !errors.Is(err, kernel.ErrIO) {
+			k.Exit(task)
+			return nil, err
+		}
 	}
 	return &Client{k: k, task: task, fd: fd}, nil
 }
+
+// Alive reports whether the client's kernel task still exists (a chaos
+// fault may have crash-killed it).
+func (c *Client) Alive() bool { return !c.task.Exited() }
 
 // Send transmits one protocol line.
 func (c *Client) Send(line string) error {

@@ -85,7 +85,7 @@ func TestPropCapSetUnionMonotone(t *testing.T) {
 		u := a.Union(b)
 		return a.SubsetOf(u) && b.SubsetOf(u)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -95,7 +95,7 @@ func TestPropCapSetIntersectLowerBound(t *testing.T) {
 		i := a.Intersect(b)
 		return i.SubsetOf(a) && i.SubsetOf(b)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -105,7 +105,7 @@ func TestPropGrantThenHas(t *testing.T) {
 		g := c.Grant(42, CapBoth)
 		return g.CanAdd(42) && g.CanDrop(42)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }

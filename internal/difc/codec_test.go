@@ -17,7 +17,7 @@ func TestLabelBinaryRoundTrip(t *testing.T) {
 		}
 		return got.Equal(l)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -39,7 +39,7 @@ func TestLabelTextRoundTrip(t *testing.T) {
 		got, err := ParseLabelText(l.FormatText())
 		return err == nil && got.Equal(l)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -66,7 +66,7 @@ func TestCapSetTextRoundTrip(t *testing.T) {
 		got, err := ParseCapSetText(c.FormatText())
 		return err == nil && got.Equal(c)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }

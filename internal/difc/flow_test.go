@@ -102,7 +102,7 @@ func TestCanChange(t *testing.T) {
 
 func TestCanChangeNoCapabilities(t *testing.T) {
 	f := func(l Label) bool { return CanChange(l, l, EmptyCapSet) }
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error("identity change must always be legal:", err)
 	}
 }
@@ -161,7 +161,7 @@ func TestPropEnterRegionSubsetCaps(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -174,8 +174,7 @@ func TestPropFlowTransitive(t *testing.T) {
 		}
 		return true
 	}
-	cfg := &quick.Config{MaxCount: 500}
-	if err := quick.Check(f, cfg); err != nil {
+	if err := quick.Check(f, quickCfg(t, 500)); err != nil {
 		t.Error(err)
 	}
 }
@@ -206,7 +205,7 @@ func TestPropCanChangeSound(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }

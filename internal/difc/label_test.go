@@ -149,7 +149,7 @@ func TestTagsReturnsCopy(t *testing.T) {
 
 func TestPropUnionCommutative(t *testing.T) {
 	f := func(a, b Label) bool { return a.Union(b).Equal(b.Union(a)) }
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -158,21 +158,21 @@ func TestPropUnionAssociative(t *testing.T) {
 	f := func(a, b, c Label) bool {
 		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestPropUnionIdempotent(t *testing.T) {
 	f := func(a Label) bool { return a.Union(a).Equal(a) }
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestPropMeetCommutative(t *testing.T) {
 	f := func(a, b Label) bool { return a.Meet(b).Equal(b.Meet(a)) }
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -181,7 +181,7 @@ func TestPropAbsorption(t *testing.T) {
 	f := func(a, b Label) bool {
 		return a.Union(a.Meet(b)).Equal(a) && a.Meet(a.Union(b)).Equal(a)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -189,7 +189,7 @@ func TestPropAbsorption(t *testing.T) {
 func TestPropSubsetPartialOrder(t *testing.T) {
 	// Reflexive, antisymmetric, transitive.
 	refl := func(a Label) bool { return a.SubsetOf(a) }
-	if err := quick.Check(refl, nil); err != nil {
+	if err := quick.Check(refl, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 	anti := func(a, b Label) bool {
@@ -198,7 +198,7 @@ func TestPropSubsetPartialOrder(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(anti, nil); err != nil {
+	if err := quick.Check(anti, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 	trans := func(a, b, c Label) bool {
@@ -207,7 +207,7 @@ func TestPropSubsetPartialOrder(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(trans, nil); err != nil {
+	if err := quick.Check(trans, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -217,7 +217,7 @@ func TestPropUnionIsLeastUpperBound(t *testing.T) {
 		u := a.Union(b)
 		return a.SubsetOf(u) && b.SubsetOf(u)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -227,7 +227,7 @@ func TestPropMinusDisjoint(t *testing.T) {
 		d := a.Minus(b)
 		return d.Meet(b).IsEmpty() && d.SubsetOf(a)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -237,7 +237,7 @@ func TestPropPartition(t *testing.T) {
 	f := func(a, b Label) bool {
 		return a.Minus(b).Union(a.Meet(b)).Equal(a)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(t, 100)); err != nil {
 		t.Error(err)
 	}
 }

@@ -38,7 +38,7 @@ func TestDiffUnion(t *testing.T) {
 		}
 		return refEqual(want, a.Union(b))
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }
@@ -54,7 +54,7 @@ func TestDiffMeet(t *testing.T) {
 		}
 		return refEqual(want, a.Meet(b))
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }
@@ -70,7 +70,7 @@ func TestDiffMinus(t *testing.T) {
 		}
 		return refEqual(want, a.Minus(b))
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }
@@ -87,7 +87,7 @@ func TestDiffSubsetOf(t *testing.T) {
 		}
 		return want == a.SubsetOf(b)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }
@@ -110,7 +110,7 @@ func TestDiffCanFlow(t *testing.T) {
 		}
 		return want == x.CanFlowTo(y)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }
@@ -132,7 +132,7 @@ func TestDiffCanChange(t *testing.T) {
 		}
 		return want == CanChange(from, to, caps)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }
@@ -150,7 +150,7 @@ func TestDiffAddRemove(t *testing.T) {
 		delete(want, tag)
 		return refEqual(want, a.Add(tag).Remove(tag))
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, quickCfg(t, 1000)); err != nil {
 		t.Error(err)
 	}
 }

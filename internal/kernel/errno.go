@@ -11,7 +11,10 @@
 // baseline used by the Table 2 (lmbench) experiments.
 package kernel
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Errno-style sentinel errors. Syscalls return these directly or wrapped;
 // compare with errors.Is.
@@ -36,4 +39,28 @@ var (
 	ErrRange     = errors.New("ERANGE: result too large")
 	ErrDeadlock  = errors.New("EDEADLK: resource deadlock avoided")
 	ErrChildless = errors.New("ECHILD: no child processes")
+	ErrIO        = errors.New("EIO: input/output error")
+	ErrKilled    = errors.New("EKILLED: task killed mid-operation by fault injection")
 )
+
+// ErrAccessRead marks a permission denial raised by a read (or lookup, or
+// exec) check. It matches ErrAccess via errors.Is, but path-based syscalls
+// map it to plain ErrNoEnt before returning, so a secrecy-denied path is
+// indistinguishable from a nonexistent one — an EACCES/ENOENT split would
+// be a one-bit covert channel revealing that a name exists (§5.2).
+// Write-only denials keep EACCES: the caller could already observe the
+// object's existence by reading it.
+var ErrAccessRead = fmt.Errorf("%w (read denial)", ErrAccess)
+
+// hideDenied maps read denials to the nonexistent-path error. Path-based
+// syscalls (stat, open, unlink, readdir, getxattr, exec, chdir) route
+// their error returns through it.
+func hideDenied(err error) error {
+	if errors.Is(err, ErrAccessRead) {
+		return ErrNoEnt
+	}
+	return err
+}
+
+// errIsKilled reports whether err carries an injected mid-operation crash.
+func errIsKilled(err error) bool { return errors.Is(err, ErrKilled) }

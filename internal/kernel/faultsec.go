@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"fmt"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+)
+
+// faultingModule wraps the registered SecurityModule so that every
+// enforcement hook in the LSM table becomes a fault-injection point that
+// fails closed: an injected Error denies the hooked operation, and an
+// injected Crash kills the acting task mid-hook. A fault can therefore
+// never grant access that policy would deny — the failure modes are
+// "extra denial" and "task death", both safe.
+//
+// Privilege-shedding hooks (DropCapabilities, RestoreCapabilities,
+// TaskFree) are deliberately NOT faultable: a failed drop would leave the
+// caller holding capabilities it believes it shed, which fails open. The
+// real system must make those paths infallible or terminate the task
+// (DESIGN.md §8).
+type faultingModule struct {
+	SecurityModule
+	k *Kernel
+}
+
+// wrapFaulting decorates sec when an injector is installed.
+func wrapFaulting(k *Kernel) {
+	if k.inj != nil && k.sec != nil {
+		k.sec = &faultingModule{SecurityModule: k.sec, k: k}
+	}
+}
+
+func (f *faultingModule) hookFault(site string, t *Task) error {
+	switch f.k.inj.At("hook." + site) {
+	case faultinject.Error:
+		return fmt.Errorf("%w: injected fault in hook %s", ErrIO, site)
+	case faultinject.Crash:
+		if t != nil && t.TID == 1 {
+			return fmt.Errorf("%w: injected fault in hook %s", ErrIO, site)
+		}
+		if t != nil {
+			f.k.killTaskLocked(t)
+		}
+		return ErrKilled
+	default:
+		return nil
+	}
+}
+
+func (f *faultingModule) TaskAlloc(parent, child *Task, keep []Capability) error {
+	if err := f.hookFault("TaskAlloc", parent); err != nil {
+		return err
+	}
+	return f.SecurityModule.TaskAlloc(parent, child, keep)
+}
+
+func (f *faultingModule) InodeInitSecurity(t *Task, dir, inode *Inode, labels *difc.Labels) error {
+	if err := f.hookFault("InodeInitSecurity", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.InodeInitSecurity(t, dir, inode, labels)
+}
+
+func (f *faultingModule) InodePostCreate(t *Task, dir, inode *Inode) error {
+	if err := f.hookFault("InodePostCreate", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.InodePostCreate(t, dir, inode)
+}
+
+func (f *faultingModule) InodePermission(t *Task, inode *Inode, mask AccessMask) error {
+	if err := f.hookFault("InodePermission", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.InodePermission(t, inode, mask)
+}
+
+func (f *faultingModule) FilePermission(t *Task, file *File, mask AccessMask) error {
+	if err := f.hookFault("FilePermission", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.FilePermission(t, file, mask)
+}
+
+func (f *faultingModule) MmapFile(t *Task, inode *Inode, prot int) error {
+	if err := f.hookFault("MmapFile", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.MmapFile(t, inode, prot)
+}
+
+func (f *faultingModule) TaskKill(t *Task, target *Task, sig Signal) error {
+	if err := f.hookFault("TaskKill", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.TaskKill(t, target, sig)
+}
+
+func (f *faultingModule) SetTaskLabel(t *Task, typ LabelType, l difc.Label) error {
+	// Denying a label change is safe in both directions: a refused raise
+	// blocks the caller from reading up; a refused clear keeps taint.
+	if err := f.hookFault("SetTaskLabel", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.SetTaskLabel(t, typ, l)
+}
+
+func (f *faultingModule) WriteCapability(t *Task, c Capability, file *File) error {
+	if err := f.hookFault("WriteCapability", t); err != nil {
+		return err
+	}
+	return f.SecurityModule.WriteCapability(t, c, file)
+}
+
+func (f *faultingModule) ReadCapability(t *Task, file *File) (Capability, error) {
+	if err := f.hookFault("ReadCapability", t); err != nil {
+		return Capability{}, err
+	}
+	return f.SecurityModule.ReadCapability(t, file)
+}

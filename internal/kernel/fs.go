@@ -109,14 +109,17 @@ func (k *Kernel) Stat(t *Task, path string) (Stat, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workStat)
+	if err := k.inject("fs.stat", t); err != nil {
+		return Stat{}, err
+	}
 	ino, err := k.resolve(t, path)
 	if err != nil {
-		return Stat{}, err
+		return Stat{}, hideDenied(err)
 	}
 	if k.sec != nil {
 		k.hookCalls++
 		if err := k.sec.InodePermission(t, ino, MayRead); err != nil {
-			return Stat{}, err
+			return Stat{}, hideDenied(err)
 		}
 	}
 	return Stat{Ino: ino.Ino, Type: ino.Type, Mode: ino.Mode, Size: ino.Size(), Nlink: ino.nlink}, nil
@@ -128,7 +131,7 @@ func (k *Kernel) Chdir(t *Task, path string) error {
 	defer k.mu.Unlock()
 	ino, err := k.resolve(t, path)
 	if err != nil {
-		return err
+		return hideDenied(err)
 	}
 	if !ino.IsDir() {
 		return ErrNotDir
@@ -156,9 +159,12 @@ func (k *Kernel) openLabeled(t *Task, path string, flags OpenFlag, labels *difc.
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workStat) // open path-walk cost; creation charges more below
+	if err := k.inject("fs.open", t); err != nil {
+		return -1, err
+	}
 	dir, name, err := k.resolveParent(t, path)
 	if err != nil {
-		return -1, err
+		return -1, hideDenied(err)
 	}
 	if name == "" {
 		return -1, ErrIsDir
@@ -190,8 +196,29 @@ func (k *Kernel) openLabeled(t *Task, path string, flags OpenFlag, labels *difc.
 		dir.children[name] = ino
 		created = true
 		charge(workCreate - workStat)
+		if k.sec != nil {
+			// Persist the new inode's labels now that the entry is linked.
+			// A crash here (EKILLED) models the machine dying mid-persist:
+			// the entry stays linked with torn xattrs for the recovery pass
+			// to repair or quarantine. Any other error unwinds the create.
+			k.hookCalls++
+			if perr := k.sec.InodePostCreate(t, dir, ino); perr != nil {
+				if errIsKilled(perr) {
+					// The module's persist path crashed: the creating task
+					// dies here, and the linked-but-torn inode awaits the
+					// recovery pass. No unwind — a real crash can't unwind.
+					k.killTaskLocked(t)
+				} else {
+					delete(dir.children, name)
+				}
+				return -1, perr
+			}
+		}
 	default:
-		return -1, lerr
+		// hideDenied must run only on this arm: mapping a read-denial to
+		// ENOENT before the switch would route it into the create arm and
+		// clobber an entry the caller cannot even see.
+		return -1, hideDenied(lerr)
 	}
 	if ino.IsDir() {
 		return -1, ErrIsDir
@@ -212,7 +239,7 @@ func (k *Kernel) openLabeled(t *Task, path string, flags OpenFlag, labels *difc.
 		if k.sec != nil {
 			k.hookCalls++
 			if err := k.sec.InodePermission(t, ino, mask); err != nil {
-				return -1, err
+				return -1, hideDenied(err)
 			}
 		}
 	}
@@ -267,6 +294,16 @@ func (k *Kernel) Read(t *Task, fd FD, buf []byte) (int, error) {
 			return 0, err
 		}
 	}
+	// Faults fire only after the policy hook approved the read, so a fault
+	// can never disclose the outcome of a denied check. A faulted pipe read
+	// reports EAGAIN — indistinguishable from an empty pipe, preserving the
+	// §5.2 non-blocking-read property under failure.
+	if err := k.inject("fs.read", t); err != nil {
+		if f.Inode.Type == TypePipe && !errIsKilled(err) {
+			return 0, ErrAgain
+		}
+		return 0, err
+	}
 	switch f.Inode.Type {
 	case TypeRegular:
 		if f.offset >= len(f.Inode.data) {
@@ -320,13 +357,21 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 	if f.Inode.Type == TypePipe {
 		// The label check result must not be observable: consult the hook
 		// but report success regardless, dropping the message on a
-		// failure, exactly like a full buffer.
+		// failure, exactly like a full buffer. An injected write-side
+		// fault takes the same silent-drop path — the caller cannot tell
+		// a policy drop, a fault drop and a delivery apart.
 		delivered := true
 		if k.sec != nil {
 			k.hookCalls++
 			if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
 				delivered = false
 			}
+		}
+		if err := k.inject("fs.write", t); err != nil {
+			if errIsKilled(err) {
+				return 0, err
+			}
+			delivered = false
 		}
 		if delivered {
 			f.Inode.pipe.write(data)
@@ -342,6 +387,20 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 	switch f.Inode.Type {
 	case TypeRegular:
 		ino := f.Inode
+		// A fault on an approved file write tears it: the first half of the
+		// data lands, the rest is lost, and the syscall reports the fault.
+		// The offset does not advance — exactly a half-flushed page cache.
+		if err := k.inject("fs.write", t); err != nil {
+			torn := data[:len(data)/2]
+			end := f.offset + len(torn)
+			if end > len(ino.data) {
+				grown := make([]byte, end)
+				copy(grown, ino.data)
+				ino.data = grown
+			}
+			copy(ino.data[f.offset:], torn)
+			return 0, err
+		}
 		end := f.offset + len(data)
 		if end > len(ino.data) {
 			grown := make([]byte, end)
@@ -379,21 +438,33 @@ func (k *Kernel) Unlink(t *Task, path string) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workUnlink)
+	if err := k.inject("fs.unlink", t); err != nil {
+		return err
+	}
 	dir, name, err := k.resolveParent(t, path)
 	if err != nil {
-		return err
+		return hideDenied(err)
 	}
 	if name == "" {
 		return ErrIsDir
 	}
 	ino, err := k.lookup(t, dir, name)
 	if err != nil {
-		return err
+		return hideDenied(err)
 	}
 	if ino.IsDir() {
 		return ErrIsDir
 	}
 	if k.sec != nil {
+		// Unlink's success/failure observably reveals the entry, so the
+		// module checks visibility (MayUnlink): a caller that cannot read
+		// the inode — and could not after any legal label change — must see
+		// the same ENOENT as for a nonexistent path. Checked first so
+		// read-denial wins over any EACCES from the write checks.
+		k.hookCalls++
+		if err := k.sec.InodePermission(t, ino, MayUnlink); err != nil {
+			return hideDenied(err)
+		}
 		k.hookCalls++
 		if err := k.sec.InodePermission(t, dir, MayWrite); err != nil {
 			return err
@@ -422,9 +493,12 @@ func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labe
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workMkdir)
+	if err := k.inject("fs.mkdir", t); err != nil {
+		return err
+	}
 	dir, name, err := k.resolveParent(t, path)
 	if err != nil {
-		return err
+		return hideDenied(err)
 	}
 	if name == "" {
 		return ErrExist
@@ -432,7 +506,7 @@ func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labe
 	if _, err := k.lookup(t, dir, name); err == nil {
 		return ErrExist
 	} else if err != ErrNoEnt {
-		return err
+		return hideDenied(err)
 	}
 	child := newInode(TypeDir, mode)
 	child.parent = dir
@@ -447,6 +521,17 @@ func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labe
 		}
 	}
 	dir.children[name] = child
+	if k.sec != nil {
+		k.hookCalls++
+		if perr := k.sec.InodePostCreate(t, dir, child); perr != nil {
+			if errIsKilled(perr) {
+				k.killTaskLocked(t)
+			} else {
+				delete(dir.children, name)
+			}
+			return perr
+		}
+	}
 	return nil
 }
 
@@ -455,9 +540,12 @@ func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workReadDir)
+	if err := k.inject("fs.readdir", t); err != nil {
+		return nil, err
+	}
 	ino, err := k.resolve(t, path)
 	if err != nil {
-		return nil, err
+		return nil, hideDenied(err)
 	}
 	if !ino.IsDir() {
 		return nil, ErrNotDir
@@ -465,7 +553,7 @@ func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
 	if k.sec != nil {
 		k.hookCalls++
 		if err := k.sec.InodePermission(t, ino, MayRead); err != nil {
-			return nil, err
+			return nil, hideDenied(err)
 		}
 	}
 	return ino.childNames(), nil
@@ -476,6 +564,9 @@ func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
 func (k *Kernel) Pipe(t *Task) (FD, FD, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if err := k.inject("fs.pipe", t); err != nil {
+		return -1, -1, err
+	}
 	ino := newInode(TypePipe, 0o600)
 	if k.sec != nil {
 		k.hookCalls++
@@ -509,14 +600,17 @@ func (k *Kernel) GetXattr(t *Task, path, name string) ([]byte, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workXattr)
+	if err := k.inject("fs.xattr", t); err != nil {
+		return nil, err
+	}
 	ino, err := k.resolve(t, path)
 	if err != nil {
-		return nil, err
+		return nil, hideDenied(err)
 	}
 	if k.sec != nil {
 		k.hookCalls++
 		if err := k.sec.InodePermission(t, ino, MayRead); err != nil {
-			return nil, err
+			return nil, hideDenied(err)
 		}
 	}
 	v, ok := ino.GetXattr(name)

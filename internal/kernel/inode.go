@@ -109,6 +109,12 @@ func (i *Inode) SetXattr(name string, value []byte) {
 	i.xattrs[name] = v
 }
 
+// RemoveXattr deletes an extended attribute. Callers must hold the kernel
+// lock; the security module uses this to clear shadow label records.
+func (i *Inode) RemoveXattr(name string) {
+	delete(i.xattrs, name)
+}
+
 // GetXattr fetches an extended attribute; the bool reports presence.
 func (i *Inode) GetXattr(name string) ([]byte, bool) {
 	v, ok := i.xattrs[name]

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"laminar/internal/difc"
+	"laminar/internal/faultinject"
 )
 
 // Kernel is the simulated operating system: a task table, an in-memory
@@ -26,6 +27,10 @@ type Kernel struct {
 	// hookCalls counts security hook invocations, for tests that assert
 	// the hook surface is actually exercised.
 	hookCalls uint64
+
+	// inj is the optional fault injector consulted at every syscall-layer
+	// injection point. nil (production) injects nothing.
+	inj faultinject.Injector
 }
 
 // Option configures kernel construction.
@@ -35,6 +40,68 @@ type Option func(*Kernel)
 // kernel behaves as unmodified Linux.
 func WithSecurityModule(m SecurityModule) Option {
 	return func(k *Kernel) { k.sec = m }
+}
+
+// WithFaultInjector installs a fault injector consulted at the syscall
+// layer's injection points (the chaos harness uses this; production runs
+// without one).
+func WithFaultInjector(inj faultinject.Injector) Option {
+	return func(k *Kernel) { k.inj = inj }
+}
+
+// Injector exposes the installed fault injector (nil when none); the VM
+// runtime consults it on the tcb label-sync path.
+func (k *Kernel) Injector() faultinject.Injector { return k.inj }
+
+// inject consults the injector at site for the acting task. Called with
+// the kernel lock held, at the top of (or inside) faultable syscalls. It
+// doubles as the killed-task gate: a task that was crash-killed mid-
+// operation gets ESRCH from every subsequent syscall.
+//
+//   - Error: the syscall aborts with EIO.
+//   - Crash: the acting task is killed in place — descriptors dropped,
+//     security state freed, no error-path cleanup of partial operation
+//     state — and the syscall reports EKILLED.
+//   - Delay: a scheduling hiccup; no semantic effect.
+func (k *Kernel) inject(site string, t *Task) error {
+	if t != nil && t.exited {
+		return ErrSrch
+	}
+	if k.inj == nil {
+		return nil
+	}
+	switch k.inj.At(site) {
+	case faultinject.Error:
+		return ErrIO
+	case faultinject.Crash:
+		if t != nil && t.TID == 1 {
+			// Killing init would be a whole-machine crash, which the
+			// harness models as a reboot (RecoverLabels), not task death.
+			return ErrIO
+		}
+		if t != nil {
+			k.killTaskLocked(t)
+		}
+		return ErrKilled
+	default:
+		return nil
+	}
+}
+
+// killTaskLocked terminates t mid-operation (fault-injected crash): the
+// task table entry is removed and security state freed, exactly as Exit,
+// but without any syscall-level cleanup of the operation in flight. Init
+// (TID 1) is immortal, as in a real kernel.
+func (k *Kernel) killTaskLocked(t *Task) {
+	if t.exited || t.TID == 1 {
+		return
+	}
+	t.exited = true
+	t.fds = make(map[FD]*File)
+	if k.sec != nil {
+		k.sec.TaskFree(t)
+	}
+	delete(k.tasks, t.TID)
 }
 
 // New boots a kernel: builds the root filesystem skeleton (/, /etc, /home,
@@ -47,6 +114,7 @@ func New(opts ...Option) *Kernel {
 	for _, o := range opts {
 		o(k)
 	}
+	wrapFaulting(k)
 	k.root = newInode(TypeDir, 0o755)
 	init := k.newTask(nil, "root")
 	k.nextProc = 1
@@ -82,6 +150,22 @@ func (k *Kernel) SecurityModuleName() string {
 // Root returns the root directory inode (used by the security module to
 // install system integrity labels at boot).
 func (k *Kernel) Root() *Inode { return k.root }
+
+// WalkInodes visits every inode reachable from the root, depth-first in
+// sorted-name order, under the kernel lock. The security module's crash-
+// recovery pass uses it to rebuild label state from persistent records.
+func (k *Kernel) WalkInodes(fn func(*Inode)) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var walk func(*Inode)
+	walk = func(ino *Inode) {
+		fn(ino)
+		for _, name := range ino.childNames() {
+			walk(ino.children[name])
+		}
+	}
+	walk(k.root)
+}
 
 // HookCalls reports how many security hooks have fired since boot.
 func (k *Kernel) HookCalls() uint64 {
@@ -152,6 +236,9 @@ func (k *Kernel) Fork(parent *Task, keep []Capability) (*Task, error) {
 	if parent.exited {
 		return nil, ErrSrch
 	}
+	if err := k.inject("task.fork", parent); err != nil {
+		return nil, err
+	}
 	child := k.newTask(parent, parent.User)
 	if k.sec != nil {
 		k.hookCalls++
@@ -184,9 +271,12 @@ func (k *Kernel) Exec(t *Task, path string) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workExec)
+	if err := k.inject("task.exec", t); err != nil {
+		return err
+	}
 	ino, err := k.resolve(t, path)
 	if err != nil {
-		return err
+		return hideDenied(err)
 	}
 	if ino.IsDir() {
 		return ErrIsDir
@@ -194,7 +284,7 @@ func (k *Kernel) Exec(t *Task, path string) error {
 	if k.sec != nil {
 		k.hookCalls++
 		if err := k.sec.InodePermission(t, ino, MayRead|MayExec); err != nil {
-			return err
+			return hideDenied(err)
 		}
 	}
 	t.vmas = nil
@@ -224,6 +314,9 @@ func (k *Kernel) Kill(t *Task, target TID, sig Signal) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workSignal)
+	if err := k.inject("task.kill", t); err != nil {
+		return err
+	}
 	dst, ok := k.tasks[target]
 	if !ok || dst.exited {
 		return ErrSrch

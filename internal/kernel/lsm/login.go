@@ -2,6 +2,9 @@ package lsm
 
 import (
 	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
 
 	"laminar/internal/difc"
 	"laminar/internal/kernel"
@@ -14,6 +17,42 @@ import (
 
 // capsDir is where per-user persistent capability files live.
 const capsDir = "/etc/laminar/caps"
+
+// capsMagic heads a checksummed capability file. Files without it are
+// treated as legacy plain text for compatibility.
+const capsMagic = "LMCAPS1"
+
+// encodeCapsFile wraps the textual capability set in a checksummed
+// envelope: "LMCAPS1 <crc32 hex>\n<payload>". A torn write is detected by
+// the checksum instead of being half-parsed into a smaller — or worse,
+// different — capability set.
+func encodeCapsFile(caps difc.CapSet) []byte {
+	payload := caps.FormatText()
+	sum := crc32.ChecksumIEEE([]byte(payload))
+	return []byte(fmt.Sprintf("%s %08x\n%s", capsMagic, sum, payload))
+}
+
+// decodeCapsFile validates and parses a capability file. Legacy files
+// (no envelope) parse as plain text.
+func decodeCapsFile(data []byte) (difc.CapSet, error) {
+	s := string(data)
+	if !strings.HasPrefix(s, capsMagic+" ") {
+		return difc.ParseCapSetText(s)
+	}
+	head, payload, ok := strings.Cut(s, "\n")
+	if !ok {
+		return difc.EmptyCapSet, fmt.Errorf("caps file truncated before payload")
+	}
+	sumHex := strings.TrimPrefix(head, capsMagic+" ")
+	want, err := strconv.ParseUint(sumHex, 16, 32)
+	if err != nil {
+		return difc.EmptyCapSet, fmt.Errorf("caps file bad checksum field: %v", err)
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
+		return difc.EmptyCapSet, fmt.Errorf("caps file checksum mismatch")
+	}
+	return difc.ParseCapSetText(payload)
+}
 
 // SaveUserCaps persists caps as user's capability file, written with the
 // acting (trusted, typically init/root) task's credentials. The admin task
@@ -29,12 +68,33 @@ func (m *Module) SaveUserCaps(k *kernel.Kernel, admin *kernel.Task, user string,
 	if err := ensureCapsDir(k, admin); err != nil {
 		return err
 	}
-	fd, err := k.Open(admin, capsDir+"/"+user, kernel.ORead|kernel.OWrite|kernel.OCreate|kernel.OTrunc)
+	// Shadow-write + flip, like label records (persist.go): the new
+	// envelope lands fully in <user>.shadow before <user> is rewritten, so
+	// a crash during either write leaves at least one valid copy. Both
+	// writes go through the ordinary (faultable) write syscall and can
+	// tear; the checksum makes a torn copy detectable rather than
+	// half-parseable.
+	path := capsDir + "/" + user
+	data := encodeCapsFile(caps)
+	if err := writeFileAll(k, admin, path+".shadow", data); err != nil {
+		return err
+	}
+	if err := writeFileAll(k, admin, path, data); err != nil {
+		return err
+	}
+	// Cleanup is best-effort: a leftover shadow only means the next load
+	// has a second valid copy to ignore.
+	_ = k.Unlink(admin, path+".shadow")
+	return nil
+}
+
+func writeFileAll(k *kernel.Kernel, t *kernel.Task, path string, data []byte) error {
+	fd, err := k.Open(t, path, kernel.ORead|kernel.OWrite|kernel.OCreate|kernel.OTrunc)
 	if err != nil {
 		return err
 	}
-	defer k.Close(admin, fd)
-	if _, err := k.Write(admin, fd, []byte(caps.FormatText())); err != nil {
+	defer k.Close(t, fd)
+	if _, err := k.Write(t, fd, data); err != nil {
 		return err
 	}
 	return nil
@@ -51,19 +111,53 @@ func (m *Module) raiseAdminIntegrity(k *kernel.Kernel, t *kernel.Task) (func(), 
 	return func() { _ = k.SetTaskLabel(t, kernel.Integrity, prev) }, nil
 }
 
-// LoadUserCaps reads a user's persistent capability file.
+// LoadUserCaps reads a user's persistent capability file, rolling forward
+// from the shadow copy when the primary is torn or missing. When neither
+// copy validates but one exists, it FAILS CLOSED: the user logs in with no
+// capabilities — inconvenient, but corruption can only ever shrink
+// privilege, never mint it. Only a missing file (user never saved) returns
+// ErrNoEnt.
 func (m *Module) LoadUserCaps(k *kernel.Kernel, admin *kernel.Task, user string) (difc.CapSet, error) {
-	fd, err := k.Open(admin, capsDir+"/"+user, kernel.ORead)
-	if err != nil {
-		return difc.EmptyCapSet, err
+	path := capsDir + "/" + user
+	primary, perr := readFileAll(k, admin, path)
+	if perr == nil {
+		if caps, err := decodeCapsFile(primary); err == nil {
+			return caps, nil
+		}
+	} else if perr != kernel.ErrNoEnt {
+		return difc.EmptyCapSet, perr
 	}
-	defer k.Close(admin, fd)
+	shadow, serr := readFileAll(k, admin, path+".shadow")
+	if serr == nil {
+		if caps, err := decodeCapsFile(shadow); err == nil {
+			// Roll the valid shadow forward into the primary; repair is
+			// best-effort — the shadow alone already serves future loads.
+			if restore, err := m.raiseAdminIntegrity(k, admin); err == nil {
+				_ = writeFileAll(k, admin, path, shadow)
+				_ = k.Unlink(admin, path+".shadow")
+				restore()
+			}
+			return caps, nil
+		}
+	}
+	if perr == kernel.ErrNoEnt && serr == kernel.ErrNoEnt {
+		return difc.EmptyCapSet, kernel.ErrNoEnt
+	}
+	return difc.EmptyCapSet, nil // some copy existed, none validated: no caps
+}
+
+func readFileAll(k *kernel.Kernel, t *kernel.Task, path string) ([]byte, error) {
+	fd, err := k.Open(t, path, kernel.ORead)
+	if err != nil {
+		return nil, err
+	}
+	defer k.Close(t, fd)
 	buf := make([]byte, 64*1024)
-	n, err := k.Read(admin, fd, buf)
+	n, err := k.Read(t, fd, buf)
 	if err != nil {
-		return difc.EmptyCapSet, err
+		return nil, err
 	}
-	return difc.ParseCapSetText(string(buf[:n]))
+	return buf[:n], nil
 }
 
 // Login spawns a fresh-process login shell task for user, grants it the

@@ -12,11 +12,14 @@ import (
 	"sync/atomic"
 
 	"laminar/internal/difc"
+	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
 )
 
-// Xattr names under which labels persist, mirroring Laminar's use of ext3
-// extended attributes.
+// Legacy per-label xattr names, mirroring Laminar's use of ext3 extended
+// attributes. These are read-compatibility views; the authoritative record
+// is the checksummed XattrLabel written by the shadow/flip protocol in
+// persist.go.
 const (
 	XattrSecrecy   = "security.laminar.secrecy"
 	XattrIntegrity = "security.laminar.integrity"
@@ -52,6 +55,16 @@ type Module struct {
 	// system directories at install time (§5.2).
 	adminTag difc.Tag
 
+	// quarantineTag is a secrecy tag for which NO principal ever receives
+	// capabilities. Crash recovery relabels inodes whose persistent label
+	// records are torn beyond repair with {quarantineTag}: unknowable
+	// labels become maximally restricted, never readable (fail closed).
+	quarantineTag difc.Tag
+
+	// inj is the optional fault injector for the label-persistence path
+	// (nil in production); see persist.go.
+	inj faultinject.Injector
+
 	// tcbProcs records processes that registered a trusted VM thread.
 	// Multithreaded processes WITHOUT one must keep all threads at the
 	// same labels (§4.1); the module enforces that by refusing label
@@ -61,11 +74,12 @@ type Module struct {
 
 var _ kernel.SecurityModule = (*Module)(nil)
 
-// New constructs the module and reserves its two well-known tags.
+// New constructs the module and reserves its three well-known tags.
 func New() *Module {
 	m := &Module{}
 	m.tcbTag = m.allocate()
 	m.adminTag = m.allocate()
+	m.quarantineTag = m.allocate()
 	return m
 }
 
@@ -82,6 +96,12 @@ func (m *Module) TCBTag() difc.Tag { return m.tcbTag }
 // AdminTag returns the system-administrator integrity tag.
 func (m *Module) AdminTag() difc.Tag { return m.adminTag }
 
+// QuarantineTag returns the secrecy tag used to seal inodes whose label
+// records were unrecoverable after a crash. No GrantCapability call for it
+// exists anywhere: quarantined data stays unreadable until an operator
+// with raw access to the store intervenes.
+func (m *Module) QuarantineTag() difc.Tag { return m.quarantineTag }
+
 // taskState fetches (or lazily creates) a task's security blob. A task
 // that predates module attachment starts unlabeled with no capabilities.
 func (m *Module) taskState(t *kernel.Task) *taskSec {
@@ -93,45 +113,18 @@ func (m *Module) taskState(t *kernel.Task) *taskSec {
 	return s
 }
 
-// inodeState fetches an inode's blob, falling back to the persisted xattr
-// labels so that labels survive module "reboots", as ext3 xattrs do.
+// inodeState fetches an inode's blob, falling back to the persisted label
+// records so that labels survive module "reboots", as ext3 xattrs do. The
+// lazy rebuild runs the same classification as the crash-recovery pass:
+// a torn record never silently degrades to unlabeled (persist.go).
 func (m *Module) inodeState(ino *kernel.Inode) *inodeSec {
 	if s, ok := ino.Security.(*inodeSec); ok {
 		return s
 	}
-	s := &inodeSec{}
-	if data, ok := ino.GetXattr(XattrSecrecy); ok {
-		if l, err := difc.UnmarshalLabel(data); err == nil {
-			s.labels.S = l
-		}
-	}
-	if data, ok := ino.GetXattr(XattrIntegrity); ok {
-		if l, err := difc.UnmarshalLabel(data); err == nil {
-			s.labels.I = l
-		}
-	}
+	labels, _ := m.recoverInodeLabels(ino)
+	s := &inodeSec{labels: labels}
 	ino.Security = s
 	return s
-}
-
-func (m *Module) persist(ino *kernel.Inode, labels difc.Labels) {
-	if ino.Type != kernel.TypeRegular && ino.Type != kernel.TypeDir {
-		return // pipes and devices have no persistent labels
-	}
-	if labels.IsEmpty() {
-		// Unlabeled files carry no xattrs at all (the implicit empty
-		// label, §3.1) — this keeps the common create path cheap, which
-		// is where Table 2's 0k-create number comes from.
-		if _, ok := ino.GetXattr(XattrSecrecy); !ok {
-			return
-		}
-	}
-	if data, err := labels.S.MarshalBinary(); err == nil {
-		ino.SetXattr(XattrSecrecy, data)
-	}
-	if data, err := labels.I.MarshalBinary(); err == nil {
-		ino.SetXattr(XattrIntegrity, data)
-	}
 }
 
 // TaskLabels reports a task's current labels (used by the VM runtime and
@@ -177,7 +170,9 @@ func (m *Module) InstallSystemIntegrity(k *kernel.Kernel) {
 	label := func(ino *kernel.Inode) {
 		s := m.inodeState(ino)
 		s.labels = adminLabels
-		m.persist(ino, adminLabels)
+		// Boot labeling runs before any injector is installed; a persist
+		// error here would mean the image itself is broken.
+		_ = m.persistCommit(ino, adminLabels)
 	}
 	root := k.Root()
 	label(root)
@@ -254,9 +249,19 @@ func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, label
 		// InodePermission(dir, MayWrite) hook call.
 		s.labels = f
 	}
+	// In-memory only: this hook runs before the entry is linked, so a
+	// crash here leaves nothing behind. Persistence happens in
+	// InodePostCreate, after the link, where a crash is recoverable.
 	ino.Security = s
-	m.persist(ino, s.labels)
 	return nil
+}
+
+// InodePostCreate persists the freshly linked inode's labels through the
+// crash-consistent shadow/flip protocol. An error (including an injected
+// crash) propagates to the kernel, which unwinds the create or leaves the
+// torn state for recovery (see kernel.SecurityModule).
+func (m *Module) InodePostCreate(t *kernel.Task, dir, ino *kernel.Inode) error {
+	return m.persistCommit(ino, m.inodeState(ino).labels)
 }
 
 // InodePermission enforces the flow rules between the task and the inode.
@@ -291,7 +296,10 @@ func (m *Module) checkAccess(t *kernel.Task, obj difc.Labels, mask kernel.Access
 	ts := m.taskState(t)
 	if mask&(kernel.MayRead|kernel.MayExec) != 0 {
 		if err := difc.CheckFlow("read", obj, ts.labels); err != nil {
-			return fmt.Errorf("%w: %v", kernel.ErrAccess, err)
+			// Read denials carry the ErrAccessRead marker: path-based
+			// syscalls convert them to ENOENT so a denied name is
+			// indistinguishable from an absent one (kernel/errno.go).
+			return fmt.Errorf("%w: %v", kernel.ErrAccessRead, err)
 		}
 	}
 	if mask&kernel.MayWrite != 0 {
@@ -299,7 +307,23 @@ func (m *Module) checkAccess(t *kernel.Task, obj difc.Labels, mask kernel.Access
 			return fmt.Errorf("%w: %v", kernel.ErrAccess, err)
 		}
 	}
+	if mask&kernel.MayUnlink != 0 {
+		if err := difc.CheckFlow("unlink", obj, ts.labels); err != nil && !m.couldRead(ts, obj) {
+			return fmt.Errorf("%w: %v", kernel.ErrAccessRead, err)
+		}
+	}
 	return nil
+}
+
+// couldRead reports whether the task could legally change its labels so
+// that reading obj becomes allowed — raise secrecy to cover obj.S (plus
+// capabilities) and drop integrity tags obj lacks (minus capabilities).
+// This is the §4.4 revocation case: the owner of a tag may unlink a file
+// labeled with it without first tainting itself, because the file's
+// existence is not secret to a capability holder.
+func (m *Module) couldRead(ts *taskSec, obj difc.Labels) bool {
+	target := difc.Labels{S: ts.labels.S.Union(obj.S), I: ts.labels.I.Meet(obj.I)}
+	return difc.CanChangeLabels(ts.labels, target, ts.caps)
 }
 
 // TaskKill allows a signal only when information may flow from sender to

@@ -110,9 +110,10 @@ func TestLabeledFileReadRequiresTaint(t *testing.T) {
 	k.Write(user, fd, nil) // fails silently? no: file labeled, user unlabeled
 	k.Close(user, fd)
 
-	// Unlabeled reader is rejected.
-	if _, err := k.Open(user, "cal", kernel.ORead); !errors.Is(err, kernel.ErrAccess) {
-		t.Errorf("unlabeled open of labeled file = %v, want EACCES", err)
+	// Unlabeled reader is rejected — with ENOENT, not EACCES: a denied
+	// name must be indistinguishable from an absent one.
+	if _, err := k.Open(user, "cal", kernel.ORead); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Errorf("unlabeled open of labeled file = %v, want ENOENT", err)
 	}
 	// Tainted reader succeeds.
 	if err := k.SetTaskLabel(user, kernel.Secrecy, secret.S); err != nil {
@@ -196,8 +197,8 @@ func TestLabeledDirectoryTree(t *testing.T) {
 	if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := k.ReadDir(user, "box"); !errors.Is(err, kernel.ErrAccess) {
-		t.Errorf("unlabeled ReadDir of labeled dir = %v, want EACCES", err)
+	if _, err := k.ReadDir(user, "box"); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Errorf("unlabeled ReadDir of labeled dir = %v, want ENOENT", err)
 	}
 }
 
@@ -209,8 +210,8 @@ func TestIntegritySystemDirectories(t *testing.T) {
 	if err := k.SetTaskLabel(user, kernel.Integrity, difc.NewLabel(itag)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := k.Stat(user, "/etc"); !errors.Is(err, kernel.ErrAccess) {
-		t.Errorf("integrity-labeled task stat(/etc) = %v, want EACCES", err)
+	if _, err := k.Stat(user, "/etc"); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Errorf("integrity-labeled task stat(/etc) = %v, want ENOENT", err)
 	}
 	// Relative paths from an unlabeled cwd still work.
 	if err := k.SetTaskLabel(user, kernel.Integrity, difc.EmptyLabel); err != nil {
@@ -281,8 +282,8 @@ func TestExecIntegrity(t *testing.T) {
 	if err := k.SetTaskLabel(user, kernel.Integrity, difc.NewLabel(itag)); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.Exec(user, "evil"); !errors.Is(err, kernel.ErrAccess) {
-		t.Errorf("exec of low-integrity file = %v, want EACCES", err)
+	if err := k.Exec(user, "evil"); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Errorf("exec of low-integrity file = %v, want ENOENT", err)
 	}
 }
 
@@ -651,8 +652,8 @@ func TestLabelsSurviveSecurityBlobLoss(t *testing.T) {
 
 	// An unlabeled open must still be rejected: the label comes back
 	// from the xattr.
-	if _, err := k.Open(user, "durable", kernel.ORead); !errors.Is(err, kernel.ErrAccess) {
-		t.Fatalf("open after blob loss = %v, want EACCES", err)
+	if _, err := k.Open(user, "durable", kernel.ORead); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Fatalf("open after blob loss = %v, want ENOENT", err)
 	}
 	// And the rightful owner still gets in.
 	if err := k.SetTaskLabel(user, kernel.Secrecy, secret.S); err != nil {

@@ -1,0 +1,128 @@
+package lsm
+
+import (
+	"errors"
+	"testing"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+	"laminar/internal/kernel"
+)
+
+// TestPipeDropIndistinguishable is the §5.2 silent-drop property under
+// fault injection: a pipe write that is dropped by policy (label check
+// fails), dropped by an injected I/O fault, or actually delivered must
+// look byte-for-byte identical to the writer — full length, nil error.
+// Anything else turns the write syscall into a covert channel (policy) or
+// makes faults observable where policy outcomes must not be (injection).
+// The reader side stays non-blocking: a drop reads as "nothing yet"
+// (EAGAIN), exactly like an empty pipe.
+func TestPipeDropIndistinguishable(t *testing.T) {
+	m := New()
+	plan := faultinject.NewPlan(99)
+	k := kernel.New(kernel.WithSecurityModule(m), kernel.WithFaultInjector(plan))
+	m.InstallSystemIntegrity(k)
+	task, err := k.Spawn(k.InitTask(), []kernel.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, _ := k.AllocTag(task)
+	msg := []byte("twelve bytes")
+
+	// Outcome A: clean delivery.
+	rfdA, wfdA, err := k.Pipe(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA, errA := k.Write(task, wfdA, msg)
+
+	// Outcome B: policy drop. The writer raises its secrecy above the
+	// (empty-labeled) pipe, so the label check fails and the message is
+	// discarded — but the writer must not be able to tell.
+	rfdB, wfdB, err := k.Pipe(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetTaskLabel(task, kernel.Secrecy, difc.NewLabel(tag)); err != nil {
+		t.Fatal(err)
+	}
+	nB, errB := k.Write(task, wfdB, msg)
+	if err := k.SetTaskLabel(task, kernel.Secrecy, difc.EmptyLabel); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outcome C: fault drop. Policy passes; the injector eats the write.
+	rfdC, wfdC, err := k.Pipe(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.SetRates("fs.write", faultinject.Rates{Error: 1})
+	nC, errC := k.Write(task, wfdC, msg)
+	plan.SetRates("fs.write", faultinject.Rates{})
+
+	// The writer-visible results must be identical across all three.
+	for _, c := range []struct {
+		name string
+		n    int
+		err  error
+	}{{"delivered", nA, errA}, {"policy-drop", nB, errB}, {"fault-drop", nC, errC}} {
+		if c.n != len(msg) || c.err != nil {
+			t.Errorf("%s write = (%d, %v), want (%d, nil)", c.name, c.n, c.err, len(msg))
+		}
+	}
+
+	// Only the delivered pipe has data; the dropped ones read as empty and
+	// never block.
+	buf := make([]byte, 64)
+	if n, err := k.Read(task, rfdA, buf); err != nil || string(buf[:n]) != string(msg) {
+		t.Errorf("delivered read = (%q, %v), want the message", buf[:n], err)
+	}
+	for name, fd := range map[string]kernel.FD{"policy-drop": rfdB, "fault-drop": rfdC} {
+		if _, err := k.Read(task, fd, buf); !errors.Is(err, kernel.ErrAgain) {
+			t.Errorf("%s read = %v, want EAGAIN (empty, non-blocking)", name, err)
+		}
+	}
+}
+
+// TestPipeDropProperty hammers the same invariant across a spread of fault
+// rates and seeds: whatever the injector does short of killing the task,
+// every pipe write reports full success and every read either yields a
+// previously written message or EAGAIN.
+func TestPipeDropProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		m := New()
+		plan := faultinject.NewPlan(seed)
+		plan.SetRates("fs.write", faultinject.Rates{Error: 0.5})
+		plan.SetRates("fs.read", faultinject.Rates{Error: 0.3})
+		k := kernel.New(kernel.WithSecurityModule(m), kernel.WithFaultInjector(plan))
+		m.InstallSystemIntegrity(k)
+		task, err := k.Spawn(k.InitTask(), []kernel.Capability{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rfd, wfd, err := k.Pipe(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("property")
+		for i := 0; i < 200; i++ {
+			if n, err := k.Write(task, wfd, msg); n != len(msg) || err != nil {
+				t.Fatalf("seed %d op %d: pipe write = (%d, %v), want (%d, nil)", seed, i, n, err, len(msg))
+			}
+			buf := make([]byte, 1024)
+			n, err := k.Read(task, rfd, buf)
+			if err != nil && !errors.Is(err, kernel.ErrAgain) {
+				t.Fatalf("seed %d op %d: pipe read = %v, want data or EAGAIN", seed, i, err)
+			}
+			// Pipes are byte streams, so a read may coalesce several
+			// delivered messages — but only whole, uncorrupted ones.
+			got := buf[:n]
+			for err == nil && len(got) > 0 {
+				if len(got) < len(msg) || string(got[:len(msg)]) != string(msg) {
+					t.Fatalf("seed %d op %d: pipe read tail %q is not whole messages", seed, i, got)
+				}
+				got = got[len(msg):]
+			}
+		}
+	}
+}

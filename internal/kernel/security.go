@@ -11,6 +11,12 @@ const (
 	MayRead AccessMask = 1 << iota
 	MayWrite
 	MayExec
+	// MayUnlink asks whether the task may observe and remove the inode's
+	// directory entry. Unlink's outcome reveals the entry's existence, so
+	// modules grant it only to callers that can read the inode — or could,
+	// after a legal label change (the tag's capability holders). Denials
+	// must look like ENOENT.
+	MayUnlink
 )
 
 // LabelType selects which of a principal's two labels a label-management
@@ -54,8 +60,16 @@ type SecurityModule interface {
 	// InodeInitSecurity runs when an inode is created inside dir. labels
 	// is non-nil only for the create_file_labeled/mkdir_labeled syscalls;
 	// the module enforces the three labeled-create conditions of §5.2 and
-	// persists the result into the inode's xattrs.
+	// attaches the in-memory label state.
 	InodeInitSecurity(t *Task, dir, inode *Inode, labels *difc.Labels) error
+
+	// InodePostCreate runs after the new inode has been linked into its
+	// parent directory; the module persists the inode's labels to xattrs
+	// here (shadow-write + flip, so a crash mid-persist is recoverable).
+	// On a non-crash error the kernel unlinks the entry and fails the
+	// create; on EKILLED (injected crash) the partial state is left in
+	// place for the recovery pass, exactly as a machine crash would.
+	InodePostCreate(t *Task, dir, inode *Inode) error
 
 	// InodePermission checks an access to an inode by path operations
 	// (stat, unlink, directory lookup). The mask says what the caller

@@ -78,6 +78,14 @@ func (k *Kernel) Send(t *Task, fd FD, data []byte) (int, error) {
 			delivered = false
 		}
 	}
+	// Injected send faults ride the same silent-drop path as policy drops
+	// and full buffers: success is reported either way (§5.2).
+	if err := k.inject("socket.send", t); err != nil {
+		if errIsKilled(err) {
+			return 0, err
+		}
+		delivered = false
+	}
 	if delivered {
 		f.sock.writeBuf.write(data)
 	}
@@ -102,6 +110,13 @@ func (k *Kernel) Recv(t *Task, fd FD, buf []byte) (int, error) {
 			return 0, err
 		}
 	}
+	// A faulted receive looks like an empty buffer, never a distinct error.
+	if err := k.inject("socket.recv", t); err != nil {
+		if errIsKilled(err) {
+			return 0, err
+		}
+		return 0, ErrAgain
+	}
 	n := f.sock.readBuf.read(buf)
 	if n == 0 {
 		return 0, ErrAgain
@@ -117,6 +132,9 @@ func (k *Kernel) Listen(t *Task, name string) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workSocketSetup)
+	if err := k.inject("socket.listen", t); err != nil {
+		return err
+	}
 	if k.listeners == nil {
 		k.listeners = make(map[string]*listener)
 	}
@@ -150,6 +168,9 @@ func (k *Kernel) Connect(t *Task, name string) (FD, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workSocketSetup)
+	if err := k.inject("socket.connect", t); err != nil {
+		return -1, err
+	}
 	l, ok := k.listeners[name]
 	if !ok {
 		return -1, ErrNoEnt
@@ -168,6 +189,9 @@ func (k *Kernel) Accept(t *Task, name string) (FD, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	charge(workSocketSetup)
+	if err := k.inject("socket.accept", t); err != nil {
+		return -1, err
+	}
 	l, ok := k.listeners[name]
 	if !ok {
 		return -1, ErrNoEnt

@@ -2,10 +2,17 @@ package kernel
 
 import (
 	"errors"
+	"flag"
 	"fmt"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 )
+
+// stressSeed makes the stress schedule reproducible: each worker derives
+// its operation jitter from this seed, and a failing run logs it.
+var stressSeed = flag.Int64("stress.seed", 1, "seed for stress-test operation jitter")
 
 // TestConcurrentSyscallStress drives the kernel from many goroutines at
 // once — file churn, pipe traffic, forks, signals — to shake out data
@@ -14,6 +21,12 @@ func TestConcurrentSyscallStress(t *testing.T) {
 	k, init := bare(t)
 	const workers = 8
 	const iters = 100
+	seed := *stressSeed
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("stress seed: %d (rerun with -stress.seed=%d)", seed, seed)
+		}
+	})
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
@@ -22,6 +35,9 @@ func TestConcurrentSyscallStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker deterministic jitter: yield points vary with the
+			// seed, shaking out different interleavings reproducibly.
+			rng := rand.New(rand.NewSource(seed + int64(w)))
 			task, err := k.Fork(init, nil)
 			if err != nil {
 				errCh <- err
@@ -65,6 +81,9 @@ func TestConcurrentSyscallStress(t *testing.T) {
 				if _, err := k.Read(task, r, buf[:1]); err != nil && !errors.Is(err, ErrAgain) {
 					errCh <- err
 					return
+				}
+				if rng.Intn(4) == 0 {
+					runtime.Gosched()
 				}
 				child, err := k.Fork(task, nil)
 				if err != nil {

@@ -1,0 +1,160 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+	"laminar/internal/kernel"
+	"laminar/internal/kernel/lsm"
+)
+
+// newFaultVM boots a VM whose kernel carries a fault injector; rates start
+// at zero so tests flip individual sites on at the precise moment.
+func newFaultVM(t *testing.T) (*VM, *Thread, *faultinject.Plan, *lsm.Module) {
+	t.Helper()
+	mod := lsm.New()
+	plan := faultinject.NewPlan(1)
+	k := kernel.New(kernel.WithSecurityModule(mod), kernel.WithFaultInjector(plan))
+	mod.InstallSystemIntegrity(k)
+	shell, err := mod.Login(k, "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, main, err := New(k, mod, shell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Chdir(main.Task(), "/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	return vm, main, plan, mod
+}
+
+// TestNestedRegionInnerPanicNonViolation: the inner body of a nested
+// region pair panics with an arbitrary (non-*Violation) value after
+// having synced its labels to the kernel via a syscall. Both regions must
+// unwind cleanly: the inner catch sees the value, the outer body continues,
+// and after the outer exit the thread holds no labels at either the VM or
+// the kernel layer.
+func TestNestedRegionInnerPanicNonViolation(t *testing.T) {
+	_, th, _, mod := newFaultVM(t)
+	tagA, err := th.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagB, err := th.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := difc.Labels{S: difc.NewLabel(tagA)}
+	inner := difc.Labels{S: difc.NewLabel(tagA, tagB)}
+
+	var caught any
+	var outerResumed bool
+	// The outer region carries tagB's capabilities so the nested entry can
+	// raise to the inner label.
+	outerCaps := difc.EmptyCapSet.Grant(tagB, difc.CapBoth)
+	err = th.Secure(outer, outerCaps, func(r *Region) {
+		ierr := th.Secure(inner, difc.EmptyCapSet, func(r2 *Region) {
+			// Force a kernel label sync inside the inner region, so exit
+			// genuinely has kernel state to restore.
+			th.ensureSynced()
+			panic("boom: not a violation")
+		}, func(r2 *Region, e any) {
+			caught = e
+		})
+		if ierr != nil {
+			t.Errorf("inner Secure returned %v", ierr)
+		}
+		// Control must fall through to here with the outer labels intact.
+		outerResumed = true
+		if got := th.Labels(); !got.S.Equal(outer.S) {
+			t.Errorf("outer labels after inner panic = %v, want %v", got, outer)
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught != "boom: not a violation" {
+		t.Errorf("inner catch saw %v", caught)
+	}
+	if !outerResumed {
+		t.Error("outer body did not resume after inner region")
+	}
+	if th.Task().Exited() {
+		t.Fatal("thread died on a clean nested unwind")
+	}
+	if got := th.Labels(); !got.IsEmpty() {
+		t.Errorf("thread VM labels after exit = %v, want empty", got)
+	}
+	if got := mod.TaskLabels(th.Task()); !got.IsEmpty() {
+		t.Errorf("kernel task labels after exit = %v, want empty", got)
+	}
+}
+
+// TestEagerSyncEntryFault: with EagerSync on, an injected fault on the
+// entry label sync must fail the Secure call before body runs, and leave
+// the thread with its previous labels everywhere.
+func TestEagerSyncEntryFault(t *testing.T) {
+	vm, th, plan, mod := newFaultVM(t)
+	vm.EagerSync = true
+	tag, err := th.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.SetRates("rt.sync", faultinject.Rates{Error: 1})
+	ran := false
+	err = th.Secure(difc.Labels{S: difc.NewLabel(tag)}, difc.EmptyCapSet,
+		func(r *Region) { ran = true }, nil)
+	plan.SetRates("rt.sync", faultinject.Rates{})
+	if err == nil || !strings.Contains(err.Error(), "entry label sync") {
+		t.Fatalf("Secure under entry sync fault = %v, want entry sync error", err)
+	}
+	if ran {
+		t.Fatal("body ran despite failed entry sync")
+	}
+	if got := th.Labels(); !got.IsEmpty() {
+		t.Errorf("thread labels after failed entry = %v, want empty", got)
+	}
+	if got := mod.TaskLabels(th.Task()); !got.IsEmpty() {
+		t.Errorf("kernel labels after failed entry = %v, want empty", got)
+	}
+}
+
+// TestExitSyncFaultFailsClosed: the region body syncs secret labels into
+// the kernel; then every restore attempt faults. The runtime must not let
+// the thread continue holding labels it cannot shed — it kills the kernel
+// task (fail closed) and emits a violation event.
+func TestExitSyncFaultFailsClosed(t *testing.T) {
+	vm, th, plan, _ := newFaultVM(t)
+	var sawViolation bool
+	vm.SetAudit(func(ev Event) {
+		if ev.Kind == EvViolation {
+			sawViolation = true
+		}
+	})
+	tag, err := th.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = th.Secure(difc.Labels{S: difc.NewLabel(tag)}, difc.EmptyCapSet, func(r *Region) {
+		// A syscall-path sync gives the kernel task the region's labels,
+		// so exit genuinely has state to restore.
+		th.ensureSynced()
+		// From here on, every label sync fails — including the exit
+		// restore about to run.
+		plan.SetRates("rt.sync", faultinject.Rates{Error: 1})
+	}, nil)
+	plan.SetRates("rt.sync", faultinject.Rates{})
+	if err != nil {
+		t.Fatalf("Secure returned %v", err)
+	}
+	if !th.Task().Exited() {
+		t.Fatal("thread survived an unrestorable exit: holds region labels outside the region")
+	}
+	if !sawViolation {
+		t.Error("no violation event emitted for the fail-closed kill")
+	}
+}

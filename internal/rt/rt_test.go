@@ -573,8 +573,8 @@ func TestLabeledFileFromRegion(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Outside the region (unlabeled), the file is unreadable.
-	if _, err := vm.Kernel().Open(main.Task(), "cal", kernel.ORead); !errors.Is(err, kernel.ErrAccess) {
-		t.Errorf("unlabeled open = %v, want EACCES", err)
+	if _, err := vm.Kernel().Open(main.Task(), "cal", kernel.ORead); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Errorf("unlabeled open = %v, want ENOENT", err)
 	}
 }
 

@@ -134,18 +134,26 @@ func (t *Thread) ReceiveCapability(fd kernel.FD) (kernel.Capability, error) {
 	return c, nil
 }
 
-// ensureSynced pushes the thread's effective labels to its kernel task if
-// they are stale. Called before every syscall the thread performs; with
-// EagerSync the labels are already current.
-func (t *Thread) ensureSynced() {
+// trySync pushes the thread's effective labels to its kernel task if they
+// are stale, reporting failure to the caller (the tcb path can fail under
+// injected faults, not just VM misconfiguration).
+func (t *Thread) trySync() error {
 	if t.kernelSynced {
-		return
+		return nil
 	}
 	if err := t.vm.setKernelLabels(t, t.Labels()); err != nil {
-		// The tcb path only fails on VM misconfiguration; surface loudly.
-		panic(&Violation{Op: "set_task_label", Err: err})
+		return err
 	}
 	t.kernelSynced = true
+	return nil
+}
+
+// ensureSynced is trySync for call sites with no error path: a failed sync
+// surfaces as a *Violation panic, which region machinery catches.
+func (t *Thread) ensureSynced() {
+	if err := t.trySync(); err != nil {
+		panic(&Violation{Op: "set_task_label", Err: err})
+	}
 }
 
 // Secure executes body inside a security region with the given labels and
@@ -184,10 +192,12 @@ func (t *Thread) Secure(labels difc.Labels, caps difc.CapSet, body func(*Region)
 	prevSynced := t.kernelSynced
 	t.region = r
 	t.kernelSynced = false
-	if t.vm.EagerSync {
-		t.ensureSynced()
-	}
 
+	// The exit defer is installed BEFORE anything that can fail or panic
+	// (including the eager entry sync below): whatever happens inside the
+	// region — a panic with an arbitrary value, a *Violation, an injected
+	// fault — this path runs and the thread leaves with the parent's VM
+	// and kernel labels, or does not leave at all.
 	defer func() {
 		// Region exit: restore parent labels/caps. Globally dropped
 		// capabilities stay dropped (handled by RemoveCapability). If the
@@ -198,7 +208,14 @@ func (t *Thread) Secure(labels difc.Labels, caps difc.CapSet, body func(*Region)
 		t.region = r.parent
 		if syncedInRegion || t.vm.EagerSync {
 			t.kernelSynced = false
-			t.ensureSynced()
+			if err := t.trySync(); err != nil {
+				// The kernel task may still carry the region's labels and
+				// the restore path is gone. Fail closed: kill the
+				// principal rather than let it keep running with labels
+				// it could not legally hold outside the region.
+				t.vm.emit(Event{Kind: EvViolation, Thread: uint64(t.task.TID), Labels: labels, Err: err})
+				t.vm.k.Exit(t.task)
+			}
 		} else {
 			t.kernelSynced = prevSynced
 		}
@@ -207,6 +224,14 @@ func (t *Thread) Secure(labels difc.Labels, caps difc.CapSet, body func(*Region)
 		}
 		t.vm.emit(Event{Kind: EvRegionExit, Thread: uint64(t.task.TID), Labels: labels})
 	}()
+
+	if t.vm.EagerSync {
+		if err := t.trySync(); err != nil {
+			// Entry sync failed before body ran: report the failure; the
+			// deferred exit path above restores the parent state.
+			return fmt.Errorf("rt: security region entry label sync: %w", err)
+		}
+	}
 
 	func() {
 		defer func() {

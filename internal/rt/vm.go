@@ -17,10 +17,12 @@
 package rt
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"laminar/internal/difc"
+	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
 	"laminar/internal/kernel/lsm"
 )
@@ -97,9 +99,22 @@ func (vm *VM) Stats() *Stats { return &vm.stats }
 
 // setKernelLabels pushes labels onto the thread's kernel task using the
 // trusted tcb path, which works regardless of the thread's capabilities
-// (needed when leaving a region whose tags the thread cannot drop).
+// (needed when leaving a region whose tags the thread cannot drop). The
+// sync itself is a fault-injection point ("rt.sync"): an injected error
+// leaves the kernel task's labels untouched, and an injected crash kills
+// the task outright — in both cases the caller must treat the thread's
+// kernel labels as unsynchronized.
 func (vm *VM) setKernelLabels(t *Thread, labels difc.Labels) error {
 	vm.stats.LabelSyncs.Add(1)
+	if inj := vm.k.Injector(); inj != nil {
+		switch inj.At("rt.sync") {
+		case faultinject.Error:
+			return fmt.Errorf("%w: injected fault in tcb label sync", kernel.ErrIO)
+		case faultinject.Crash:
+			vm.k.Exit(t.task)
+			return kernel.ErrKilled
+		}
+	}
 	return vm.mod.SetLabelTCB(vm.tcb, t.task, labels)
 }
 

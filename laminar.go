@@ -28,6 +28,7 @@ package laminar
 
 import (
 	"laminar/internal/difc"
+	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
 	"laminar/internal/kernel/lsm"
 	"laminar/internal/rt"
@@ -134,6 +135,19 @@ func NewSystem() *System {
 	mod := lsm.New()
 	k := kernel.New(kernel.WithSecurityModule(mod))
 	mod.InstallSystemIntegrity(k)
+	return &System{k: k, mod: mod}
+}
+
+// NewSystemWithInjector boots a system whose kernel syscalls, LSM hooks
+// and label-persistence path consult the given fault injector (the chaos
+// harness uses this; see internal/faultinject). The module's injector is
+// installed only after boot labeling, which models firmware that cannot
+// fail before the machine is up.
+func NewSystemWithInjector(inj faultinject.Injector) *System {
+	mod := lsm.New()
+	k := kernel.New(kernel.WithSecurityModule(mod), kernel.WithFaultInjector(inj))
+	mod.InstallSystemIntegrity(k)
+	mod.SetFaultInjector(inj)
 	return &System{k: k, mod: mod}
 }
 

@@ -66,8 +66,8 @@ func TestTwoVMsShareOneKernel(t *testing.T) {
 	}
 
 	// App B cannot read it without the capability...
-	if _, err := k.Open(thB.Task(), "shared", laminar.ORead); !errors.Is(err, kernel.ErrAccess) {
-		t.Fatalf("appB open = %v, want EACCES", err)
+	if _, err := k.Open(thB.Task(), "shared", laminar.ORead); !errors.Is(err, kernel.ErrNoEnt) {
+		t.Fatalf("appB open = %v, want ENOENT", err)
 	}
 	if err := thB.Secure(secret, laminar.EmptyCapSet, func(r *laminar.Region) {}, nil); err == nil {
 		t.Fatal("appB entered appA's label without the capability")

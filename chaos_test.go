@@ -14,28 +14,38 @@ var chaosRates = faultinject.Rates{Error: 0.02, Crash: 0.004, Delay: 0.02}
 
 // TestChaos runs many distinct seeded fault schedules concurrently (each
 // schedule is single-threaded; the parallelism across seeds is what -race
-// observes) and requires zero invariant violations on every one. On
-// failure it logs the seed and the byte-for-byte reproducible fault
-// schedule.
+// observes) and requires zero invariant violations on every one, under
+// BOTH locking disciplines: the default sharded kernel and the serial
+// big-lock kernel. On failure it logs the seed and the byte-for-byte
+// reproducible fault schedule.
 func TestChaos(t *testing.T) {
 	const seeds = 60
-	for seed := int64(1); seed <= seeds; seed++ {
-		seed := seed
-		t.Run("", func(t *testing.T) {
-			t.Parallel()
-			rep := chaos.Run(chaos.Config{
-				Seed:   seed,
-				Ops:    200,
-				Rates:  chaosRates,
-				Record: true,
-			})
-			if len(rep.Violations) > 0 {
-				t.Errorf("seed %d: %d invariant violations:", seed, len(rep.Violations))
-				for _, v := range rep.Violations {
-					t.Errorf("  %s", v)
-				}
-				t.Logf("reproduce with: go run ./cmd/laminar-chaos -seed %d -ops %d", seed, rep.Ops)
-				t.Logf("fault schedule:\n%s", rep.Schedule)
+	for _, mode := range []struct {
+		name    string
+		bigLock bool
+	}{{"sharded", false}, {"biglock", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				seed := seed
+				t.Run("", func(t *testing.T) {
+					t.Parallel()
+					rep := chaos.Run(chaos.Config{
+						Seed:    seed,
+						Ops:     200,
+						Rates:   chaosRates,
+						Record:  true,
+						BigLock: mode.bigLock,
+					})
+					if len(rep.Violations) > 0 {
+						t.Errorf("seed %d (%s): %d invariant violations:", seed, mode.name, len(rep.Violations))
+						for _, v := range rep.Violations {
+							t.Errorf("  %s", v)
+						}
+						t.Logf("reproduce with: go run ./cmd/laminar-chaos -seed %d -ops %d", seed, rep.Ops)
+						t.Logf("fault schedule:\n%s", rep.Schedule)
+					}
+				})
 			}
 		})
 	}

@@ -12,13 +12,18 @@
 //	laminar-bench -table 1|4          # taxonomy probes / GradeSheet sets
 //	laminar-bench -flume              # monitor-vs-LSM IPC comparison
 //	laminar-bench -ablations          # design-decision ablations
+//	laminar-bench -concurrency        # big-lock vs sharded syscall storms
 //	laminar-bench -scale 10           # heavier workloads (closer to paper scale)
+//
+// -concurrency additionally writes the machine-readable result to
+// BENCH_concurrency.json (override with -concjson).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"laminar/internal/eval"
 )
@@ -30,6 +35,11 @@ func main() {
 		figure    = flag.String("figure", "", "reproduce a figure: jvm, apps, compile, regions")
 		flume     = flag.Bool("flume", false, "monitor-vs-LSM IPC comparison")
 		ablations = flag.Bool("ablations", false, "design-decision ablations")
+		conc      = flag.Bool("concurrency", false, "big-lock vs sharded syscall-storm scaling")
+		concTasks = flag.Int("conctasks", 8, "concurrent tasks in the syscall storms")
+		concOps   = flag.Int("concops", 12000, "syscalls per task in the storms")
+		concIO    = flag.Duration("concio", 30*time.Microsecond, "modeled device latency for the io storm")
+		concJSON  = flag.String("concjson", "BENCH_concurrency.json", "where -concurrency writes its JSON result")
 		scale     = flag.Int("scale", 1, "workload scale factor (apps)")
 		iters     = flag.Int("iters", 300, "JVM workload loop iterations")
 		trials    = flag.Int("trials", 5, "trials per measurement (median/min)")
@@ -115,6 +125,24 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(rep.Format())
+	}
+	if *all || *conc {
+		ran = true
+		rep, err := eval.Concurrency(*concTasks, *concOps, *trials, *concIO)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *concJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*concJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *concJSON)
+		}
 	}
 	if !ran {
 		flag.Usage()

@@ -26,7 +26,8 @@ func main() {
 		errR   = flag.Float64("error-rate", 0.02, "probability an injection site returns an error")
 		crashR = flag.Float64("crash-rate", 0.004, "probability an injection site crash-kills the acting task")
 		delayR = flag.Float64("delay-rate", 0.02, "probability an injection site yields the scheduler")
-		verb   = flag.Bool("v", false, "print the fault schedule of every run, not just failures")
+		verb    = flag.Bool("v", false, "print the fault schedule of every run, not just failures")
+		bigLock = flag.Bool("biglock", false, "run on the serial big-lock kernel instead of the sharded one")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 
 	failed := 0
 	for s := lo; s <= hi; s++ {
-		rep := chaos.Run(chaos.Config{Seed: s, Ops: *ops, Rates: rates, Record: true})
+		rep := chaos.Run(chaos.Config{Seed: s, Ops: *ops, Rates: rates, Record: true, BigLock: *bigLock})
 		status := "ok"
 		if len(rep.Violations) > 0 {
 			status = "FAIL"

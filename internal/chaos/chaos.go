@@ -46,6 +46,11 @@ type Config struct {
 	Rates faultinject.Rates
 	// Record captures the fault schedule for failure reports.
 	Record bool
+	// BigLock runs the schedule on the serial big-lock kernel instead of
+	// the default sharded one. The fault plan is a pure function of
+	// (seed, step), so the same seed exercises the identical fault
+	// schedule under both locking disciplines.
+	BigLock bool
 }
 
 // Report is the outcome of a run.
@@ -115,7 +120,11 @@ func Run(cfg Config) Report {
 	if cfg.Record {
 		r.plan.Record()
 	}
-	r.sys = laminar.NewSystemWithInjector(r.plan)
+	var opts []kernel.Option
+	if cfg.BigLock {
+		opts = append(opts, kernel.WithBigLock())
+	}
+	r.sys = laminar.NewSystemWithInjector(r.plan, opts...)
 	r.k = r.sys.Kernel()
 	r.mod = r.sys.Module()
 

@@ -1,0 +1,100 @@
+package difc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzzers for the codec layer (codec.go). Two properties:
+//
+//  1. Never panic: decoders must reject arbitrary bytes with an error,
+//     never a crash — labels are parsed out of untrusted xattr blobs
+//     and persistent capability files.
+//  2. Round-trip: whatever decodes successfully must re-encode to a
+//     value that decodes to an equal label (canonicalization may change
+//     the byte form, e.g. unsorted text input, but not the tag set).
+//
+// CI runs each fuzzer briefly (-fuzztime) on every push; the f.Add seed
+// corpus keeps the short pass meaningful.
+
+func FuzzUnmarshalLabel(f *testing.F) {
+	for _, l := range []Label{{}, NewLabel(1), NewLabel(1, 2, 3), NewLabel(^Tag(0))} {
+		b, _ := l.MarshalBinary()
+		f.Add(b)
+	}
+	// Malformed seeds: short header, lying length, trailing garbage.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 5})
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := UnmarshalLabel(data)
+		if err != nil {
+			return
+		}
+		out, merr := l.MarshalBinary()
+		if merr != nil {
+			t.Fatalf("re-marshal of decoded label failed: %v", merr)
+		}
+		l2, err2 := UnmarshalLabel(out)
+		if err2 != nil {
+			t.Fatalf("round-trip decode failed: %v", err2)
+		}
+		if !l.Equal(l2) {
+			t.Fatalf("round-trip changed label: %v != %v", l, l2)
+		}
+		// The binary form is canonical (sorted, deduped), so decoding a
+		// canonical encoding must re-encode byte-identically.
+		out2, _ := l2.MarshalBinary()
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("canonical encoding unstable: %x != %x", out, out2)
+		}
+	})
+}
+
+func FuzzParseLabelText(f *testing.F) {
+	f.Add("")
+	f.Add("1")
+	f.Add("1,2,3")
+	f.Add("3,2,1,1")
+	f.Add(" 7 , 8 ")
+	f.Add("18446744073709551615")
+	f.Add("x")
+	f.Add("1,,2")
+	f.Add("-1")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseLabelText(s)
+		if err != nil {
+			return
+		}
+		back, err2 := ParseLabelText(l.FormatText())
+		if err2 != nil {
+			t.Fatalf("re-parse of formatted label failed: %v", err2)
+		}
+		if !l.Equal(back) {
+			t.Fatalf("text round-trip changed label: %v != %v", l, back)
+		}
+	})
+}
+
+func FuzzParseCapSetText(f *testing.F) {
+	f.Add("|")
+	f.Add("1,2|3")
+	f.Add("|5")
+	f.Add("9|")
+	f.Add("nope")
+	f.Add("1|2|3")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCapSetText(s)
+		if err != nil {
+			return
+		}
+		back, err2 := ParseCapSetText(c.FormatText())
+		if err2 != nil {
+			t.Fatalf("re-parse of formatted capset failed: %v", err2)
+		}
+		if !c.Equal(back) {
+			t.Fatalf("capset round-trip changed: %v != %v", c, back)
+		}
+	})
+}

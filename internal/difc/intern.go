@@ -1,0 +1,127 @@
+package difc
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Label interning gives hot labels a canonical numeric identity so the
+// flow cache (flowcache.go) can key subset queries on a pair of small
+// integers instead of walking tag slices. Interning is purely an
+// acceleration: an interned label is observably identical to its
+// un-interned twin — same tags, same Equal/SubsetOf/String results — it
+// just additionally carries a process-global id that survives copying
+// (labels are immutable values, so the id can never go stale).
+//
+// The table is global and shared by every kernel/module instance in the
+// process. That is sound because a label's identity is exactly its tag
+// set and subset answers are purely set-theoretic: two modules that
+// allocate the same numeric tags mean the same lattice points.
+//
+// The table is bounded: past maxInternedPerShard entries a shard stops
+// admitting new labels and Intern degrades to the identity function.
+// Degradation is safe — an id of zero simply means "uncached slow path".
+
+const (
+	internShardCount    = 64
+	maxInternedPerShard = 1 << 14
+)
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]uint64 // tag-set key -> interned id
+}
+
+var (
+	internTable [internShardCount]internShard
+	// internIDs allocates ids starting at 2; id 1 is reserved for the
+	// empty label and id 0 means "not interned".
+	internIDs atomic.Uint64
+
+	internHits   atomic.Uint64
+	internMisses atomic.Uint64
+)
+
+// emptyInternID is the permanent id of the empty label.
+const emptyInternID uint64 = 1
+
+func init() { internIDs.Store(emptyInternID) }
+
+// internKey packs the sorted tag slice into a string usable as a map key.
+func internKey(tags []Tag) string {
+	b := make([]byte, 8*len(tags))
+	for i, t := range tags {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(t))
+	}
+	return string(b)
+}
+
+// internShardFor picks a shard by mixing the tag set (fnv-1a over the
+// raw tag words) so labels spread evenly regardless of tag density.
+func internShardFor(tags []Tag) *internShard {
+	h := uint64(14695981039346656037)
+	for _, t := range tags {
+		h ^= uint64(t)
+		h *= 1099511628211
+	}
+	return &internTable[h%internShardCount]
+}
+
+// Intern returns a label with the same tag set as l that carries a
+// canonical id. Calling it twice with equal labels yields labels with
+// the same id; the result compares Equal to the input in every way.
+// When the intern table shard is full the input is returned unchanged
+// (id 0), which only costs cache hits, never correctness.
+func Intern(l Label) Label {
+	if l.id != 0 {
+		return l
+	}
+	if len(l.tags) == 0 {
+		return Label{id: emptyInternID}
+	}
+	sh := internShardFor(l.tags)
+	key := internKey(l.tags)
+
+	sh.mu.RLock()
+	id, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		internHits.Add(1)
+		return Label{tags: l.tags, id: id}
+	}
+
+	sh.mu.Lock()
+	if id, ok = sh.m[key]; ok {
+		sh.mu.Unlock()
+		internHits.Add(1)
+		return Label{tags: l.tags, id: id}
+	}
+	if sh.m == nil {
+		sh.m = make(map[string]uint64)
+	}
+	if len(sh.m) >= maxInternedPerShard {
+		sh.mu.Unlock()
+		return l // table full: degrade gracefully
+	}
+	id = internIDs.Add(1)
+	sh.m[key] = id
+	sh.mu.Unlock()
+	internMisses.Add(1)
+	return Label{tags: l.tags, id: id}
+}
+
+// InternLabels interns both components of a label pair.
+func InternLabels(l Labels) Labels {
+	return Labels{S: Intern(l.S), I: Intern(l.I)}
+}
+
+// Interned reports whether l carries a canonical intern id. Mostly
+// useful to tests and stats reporting.
+func (l Label) Interned() bool { return l.id != 0 }
+
+// InternStats reports cumulative intern-table hits and misses (a miss
+// is a first-time insertion).
+func InternStats() (hits, misses uint64) {
+	return internHits.Load(), internMisses.Load()
+}

@@ -39,6 +39,10 @@ type Label struct {
 	// tags is sorted ascending with no duplicates and never mutated after
 	// construction. Methods that "modify" a label return a new one.
 	tags []Tag
+	// id is the canonical intern identity assigned by Intern (intern.go):
+	// 0 means "not interned"; equal nonzero ids imply equal tag sets and
+	// vice versa. Derived labels (Union, Minus, ...) start un-interned.
+	id uint64
 }
 
 // EmptyLabel is the label of unlabeled resources: {S()} or {I()}.
@@ -96,10 +100,29 @@ func (l Label) Tags() []Tag {
 }
 
 // SubsetOf reports whether every tag in l is also in other (l ⊆ other).
+// When both labels are interned (see Intern) the answer is memoized in
+// the process-global flow cache, turning repeated checks over hot label
+// pairs into a single map probe.
 func (l Label) SubsetOf(other Label) bool {
 	if len(l.tags) > len(other.tags) {
 		return false
 	}
+	if l.id != 0 && other.id != 0 {
+		if l.id == other.id {
+			return true // identical interned sets
+		}
+		if v, ok := cachedSubset(l, other); ok {
+			return v
+		}
+		v := l.subsetSlow(other)
+		storeSubset(l, other, v)
+		return v
+	}
+	return l.subsetSlow(other)
+}
+
+// subsetSlow is the uncached sorted-merge subset walk.
+func (l Label) subsetSlow(other Label) bool {
 	i, j := 0, 0
 	for i < len(l.tags) && j < len(other.tags) {
 		switch {
@@ -117,6 +140,10 @@ func (l Label) SubsetOf(other Label) bool {
 
 // Equal reports whether two labels contain exactly the same tags.
 func (l Label) Equal(other Label) bool {
+	if l.id != 0 && other.id != 0 {
+		// Intern ids are canonical: equal ids ⇔ equal tag sets.
+		return l.id == other.id
+	}
 	if len(l.tags) != len(other.tags) {
 		return false
 	}

@@ -1,0 +1,239 @@
+package eval
+
+// Concurrency benchmark for the sharded-lock kernel: multi-goroutine
+// syscall storms replayed against both locking disciplines at several
+// GOMAXPROCS settings. Two storm profiles are measured:
+//
+//   - cpu: pure in-memory syscalls (create/write/read/stat/unlink plus a
+//     pipe round trip). On a single hardware thread this measures locking
+//     overhead only — the sharded kernel cannot beat the serial one when
+//     there is no concurrency to exploit, it just must not lose badly.
+//   - io: the same storm with WithIOLatency modeling device time for
+//     regular-file data transfers. The big kernel lock holds the lock
+//     across the device wait, so I/O from different tasks serializes;
+//     the sharded kernel overlaps the waits. This is the profile where
+//     fine-grained locking must win ≥2× at GOMAXPROCS=8.
+//
+// Determinism: each task works in its own directory on its own files, so
+// the op mix is identical across modes; only the interleaving differs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"laminar"
+	"laminar/internal/kernel"
+)
+
+// ConcRow is one (workload, GOMAXPROCS, lock mode) measurement.
+type ConcRow struct {
+	Workload   string  `json:"workload"`    // "cpu" or "io"
+	Procs      int     `json:"gomaxprocs"`
+	Mode       string  `json:"lock_mode"`   // "biglock" or "sharded"
+	Tasks      int     `json:"tasks"`
+	Ops        int     `json:"total_ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	SpeedupVsB float64 `json:"speedup_vs_biglock"` // sharded rows: this row / matching biglock row
+}
+
+// ConcurrencyReport holds the full matrix plus the headline ratio.
+type ConcurrencyReport struct {
+	Tasks      int       `json:"tasks"`
+	OpsPerTask int       `json:"ops_per_task"`
+	IOLatencyU int64     `json:"io_latency_us"`
+	HWThreads  int       `json:"hw_threads"`
+	Rows       []ConcRow `json:"rows"`
+	// HeadlineIO is the io-storm sharded/biglock throughput ratio at the
+	// highest GOMAXPROCS measured — the PR's acceptance number.
+	HeadlineIO float64 `json:"headline_io_speedup"`
+}
+
+// stormOps is the number of syscalls one loop iteration of stormTask
+// issues (create+3 writes+open+read+stat+unlink+pipe+pipe write+pipe
+// read+2 closes is not the unit — we count kernel entries explicitly).
+const stormIterSyscalls = 12
+
+// stormTask runs iters iterations of the storm loop as task t inside its
+// private directory. Every iteration issues exactly stormIterSyscalls
+// kernel entries, so throughput is comparable across modes.
+func stormTask(k *kernel.Kernel, t *kernel.Task, dir string, iters int) error {
+	buf := make([]byte, 64)
+	for i := 0; i < iters; i++ {
+		path := fmt.Sprintf("%s/f%d", dir, i%8)
+		fd, err := k.Open(t, path, kernel.OWrite|kernel.OCreate) // 1
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		for j := 0; j < 3; j++ {
+			if _, err := k.Write(t, fd, []byte("storm-payload-64-bytes.........................................")); err != nil { // 2,3,4
+				return fmt.Errorf("write: %w", err)
+			}
+		}
+		k.Close(t, fd) // 5
+		rfd, err := k.Open(t, path, kernel.ORead) // 6
+		if err != nil {
+			return fmt.Errorf("reopen: %w", err)
+		}
+		if _, err := k.Read(t, rfd, buf); err != nil { // 7
+			return fmt.Errorf("read: %w", err)
+		}
+		k.Close(t, rfd) // 8
+		if _, err := k.Stat(t, path); err != nil { // 9
+			return fmt.Errorf("stat: %w", err)
+		}
+		pr, pw, err := k.Pipe(t) // 10
+		if err != nil {
+			return fmt.Errorf("pipe: %w", err)
+		}
+		if _, err := k.Write(t, pw, buf[:16]); err != nil { // 11
+			return fmt.Errorf("pipe write: %w", err)
+		}
+		if _, err := k.Read(t, pr, buf[:16]); err != nil { // 12
+			return fmt.Errorf("pipe read: %w", err)
+		}
+		k.Close(t, pr)
+		k.Close(t, pw)
+	}
+	return nil
+}
+
+// runStorm builds a fresh system under opts, spawns nTasks tasks with
+// private directories, and runs the storm concurrently. Returns wall time
+// for the storm phase only (setup excluded).
+func runStorm(nTasks, opsPerTask int, opts ...kernel.Option) (time.Duration, error) {
+	sys := laminar.NewSystem(opts...)
+	k := sys.Kernel()
+	init := k.InitTask()
+	tasks := make([]*kernel.Task, nTasks)
+	dirs := make([]string, nTasks)
+	for i := range tasks {
+		t, err := k.Spawn(init, nil)
+		if err != nil {
+			return 0, err
+		}
+		dirs[i] = fmt.Sprintf("/tmp/storm%d", i)
+		if err := k.Mkdir(t, dirs[i], 0o755); err != nil {
+			return 0, err
+		}
+		tasks[i] = t
+	}
+	iters := opsPerTask / stormIterSyscalls
+	errs := make([]error, nTasks)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = stormTask(k, tasks[i], dirs[i], iters)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return wall, nil
+}
+
+// Concurrency runs the full matrix: {cpu, io} × GOMAXPROCS {1,4,8} ×
+// {biglock, sharded}. ioLatency is the modeled device time per data
+// transfer for the io profile.
+func Concurrency(nTasks, opsPerTask, trials int, ioLatency time.Duration) (*ConcurrencyReport, error) {
+	rep := &ConcurrencyReport{
+		Tasks:      nTasks,
+		OpsPerTask: opsPerTask,
+		IOLatencyU: ioLatency.Microseconds(),
+		HWThreads:  runtime.NumCPU(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	totalOps := nTasks * (opsPerTask / stormIterSyscalls) * stormIterSyscalls
+	for _, wl := range []struct {
+		name string
+		opts []kernel.Option
+	}{
+		{"cpu", nil},
+		{"io", []kernel.Option{kernel.WithIOLatency(ioLatency)}},
+	} {
+		for _, procs := range []int{1, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			var bigOps float64
+			for _, mode := range []string{"biglock", "sharded"} {
+				opts := append([]kernel.Option{}, wl.opts...)
+				if mode == "biglock" {
+					opts = append(opts, kernel.WithBigLock())
+				}
+				best := time.Duration(0)
+				for tr := 0; tr < trials; tr++ {
+					wall, err := runStorm(nTasks, opsPerTask, opts...)
+					if err != nil {
+						runtime.GOMAXPROCS(prev)
+						return nil, fmt.Errorf("%s/%s p=%d: %w", wl.name, mode, procs, err)
+					}
+					if best == 0 || wall < best {
+						best = wall
+					}
+				}
+				row := ConcRow{
+					Workload:  wl.name,
+					Procs:     procs,
+					Mode:      mode,
+					Tasks:     nTasks,
+					Ops:       totalOps,
+					NsPerOp:   float64(best.Nanoseconds()) / float64(totalOps),
+					OpsPerSec: float64(totalOps) / best.Seconds(),
+				}
+				if mode == "biglock" {
+					bigOps = row.OpsPerSec
+				} else if bigOps > 0 {
+					row.SpeedupVsB = row.OpsPerSec / bigOps
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	for _, r := range rep.Rows {
+		if r.Workload == "io" && r.Mode == "sharded" && r.Procs == 8 {
+			rep.HeadlineIO = r.SpeedupVsB
+		}
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_concurrency.json.
+func (r *ConcurrencyReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the paper-style text table.
+func (r *ConcurrencyReport) Format() string {
+	var b strings.Builder
+	b.WriteString(header("Concurrency: syscall-storm throughput, big lock vs sharded locking"))
+	fmt.Fprintf(&b, "%d tasks × %d syscalls each; io profile models %dµs device time per transfer; %d hardware thread(s)\n\n",
+		r.Tasks, r.OpsPerTask, r.IOLatencyU, r.HWThreads)
+	fmt.Fprintf(&b, "%-5s %6s %9s %12s %14s %10s\n", "storm", "procs", "mode", "ns/op", "ops/sec", "speedup")
+	for _, row := range r.Rows {
+		sp := ""
+		if row.Mode == "sharded" {
+			sp = fmt.Sprintf("%8.2fx", row.SpeedupVsB)
+		}
+		fmt.Fprintf(&b, "%-5s %6d %9s %12.0f %14.0f %10s\n",
+			row.Workload, row.Procs, row.Mode, row.NsPerOp, row.OpsPerSec, sp)
+	}
+	fmt.Fprintf(&b, "\nheadline: io-storm sharded/biglock throughput at GOMAXPROCS=8: %.2fx\n", r.HeadlineIO)
+	b.WriteString("the big kernel lock holds the lock across modeled device waits, so\n" +
+		"I/O from different tasks serializes; sharded locking overlaps the\n" +
+		"waits. The cpu storm isolates pure locking overhead on one core.\n")
+	return b.String()
+}

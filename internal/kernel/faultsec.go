@@ -40,7 +40,7 @@ func (f *faultingModule) hookFault(site string, t *Task) error {
 			return fmt.Errorf("%w: injected fault in hook %s", ErrIO, site)
 		}
 		if t != nil {
-			f.k.killTaskLocked(t)
+			f.k.killTaskHolding(t)
 		}
 		return ErrKilled
 	default:

@@ -10,6 +10,12 @@ import (
 // stat, open/close/read/write, create/unlink, mkdir, pipes and the
 // labeled-create syscalls. Every operation that touches an inode consults
 // the security module hooks, mirroring where the Laminar LSM interposes.
+//
+// Locking (see locking.go): each syscall runs under the acting task's
+// entry lock. Path walks take one directory read-lock at a time, in
+// parent→child order; mutations of a directory (create, mkdir, unlink)
+// hold that directory's write lock across the lookup-and-modify sequence
+// so entries cannot be created or lost between check and update.
 
 // resolve walks path from the task's cwd (or the root for absolute paths)
 // down to the final inode. Each directory traversed is subject to an
@@ -72,15 +78,47 @@ func (k *Kernel) resolveParent(t *Task, path string) (*Inode, string, error) {
 }
 
 // lookup finds name in dir, charging the directory-read permission check.
+// It takes dir's read lock only around the children-map probe, so walks
+// hold at most one inode lock at a time.
 func (k *Kernel) lookup(t *Task, dir *Inode, name string) (*Inode, error) {
+	if err := k.lookupCheck(t, dir); err != nil {
+		return nil, err
+	}
+	if name == ".." {
+		if dir.parent == nil {
+			return dir, nil
+		}
+		return dir.parent, nil
+	}
+	unlock := k.rlockInode(dir)
+	child, ok := dir.children[name]
+	unlock()
+	if !ok {
+		return nil, ErrNoEnt
+	}
+	return child, nil
+}
+
+// lookupCheck runs the directory-read permission gate shared by lookup
+// and lookupIn.
+func (k *Kernel) lookupCheck(t *Task, dir *Inode) error {
 	if !dir.IsDir() {
-		return nil, ErrNotDir
+		return ErrNotDir
 	}
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, dir, MayRead); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// lookupIn is lookup for callers that already hold dir's write lock
+// (atomic lookup-and-modify in create/unlink paths).
+func (k *Kernel) lookupIn(t *Task, dir *Inode, name string) (*Inode, error) {
+	if err := k.lookupCheck(t, dir); err != nil {
+		return nil, err
 	}
 	if name == ".." {
 		if dir.parent == nil {
@@ -106,8 +144,7 @@ func (k *Kernel) mkdirInternal(dir *Inode, name string) *Inode {
 
 // Stat returns metadata for path.
 func (k *Kernel) Stat(t *Task, path string) (Stat, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workStat)
 	if err := k.inject("fs.stat", t); err != nil {
 		return Stat{}, err
@@ -117,18 +154,20 @@ func (k *Kernel) Stat(t *Task, path string) (Stat, error) {
 		return Stat{}, hideDenied(err)
 	}
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, ino, MayRead); err != nil {
 			return Stat{}, hideDenied(err)
 		}
 	}
-	return Stat{Ino: ino.Ino, Type: ino.Type, Mode: ino.Mode, Size: ino.Size(), Nlink: ino.nlink}, nil
+	unlock := k.rlockInode(ino)
+	st := Stat{Ino: ino.Ino, Type: ino.Type, Mode: ino.Mode, Size: ino.Size(), Nlink: ino.nlink}
+	unlock()
+	return st, nil
 }
 
 // Chdir changes the task's working directory.
 func (k *Kernel) Chdir(t *Task, path string) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	ino, err := k.resolve(t, path)
 	if err != nil {
 		return hideDenied(err)
@@ -156,8 +195,7 @@ func (k *Kernel) CreateFileLabeled(t *Task, path string, mode Mode, labels difc.
 }
 
 func (k *Kernel) openLabeled(t *Task, path string, flags OpenFlag, labels *difc.Labels) (FD, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workStat) // open path-walk cost; creation charges more below
 	if err := k.inject("fs.open", t); err != nil {
 		return -1, err
@@ -169,56 +207,72 @@ func (k *Kernel) openLabeled(t *Task, path string, flags OpenFlag, labels *difc.
 	if name == "" {
 		return -1, ErrIsDir
 	}
+	// The final component is looked up under dir's write lock whenever a
+	// create could follow, so the lookup and the link are one atomic step
+	// — two racing creators cannot both see ENOENT and both link.
 	created := false
-	ino, lerr := k.lookup(t, dir, name)
-	switch {
-	case lerr == nil:
-		if labels != nil {
-			return -1, ErrExist // labeled create requires a fresh file
-		}
-		if flags&OCreate != 0 && flags&OTrunc != 0 && ino.Type == TypeRegular {
-			// Truncation is a write; checked below via mask.
-		}
-	case lerr == ErrNoEnt && flags&OCreate != 0:
-		ino = newInode(TypeRegular, 0o644)
-		ino.parent = dir
-		if k.sec != nil {
-			k.hookCalls++
-			if err := k.sec.InodeInitSecurity(t, dir, ino, labels); err != nil {
-				return -1, err
+	var ino *Inode
+	if flags&OCreate != 0 {
+		unlock := k.lockInode(dir)
+		existing, lerr := k.lookupIn(t, dir, name)
+		switch {
+		case lerr == nil:
+			unlock()
+			if labels != nil {
+				return -1, ErrExist // labeled create requires a fresh file
 			}
-			// Creating an entry writes the parent directory.
-			k.hookCalls++
-			if err := k.sec.InodePermission(t, dir, MayWrite); err != nil {
-				return -1, err
-			}
-		}
-		dir.children[name] = ino
-		created = true
-		charge(workCreate - workStat)
-		if k.sec != nil {
-			// Persist the new inode's labels now that the entry is linked.
-			// A crash here (EKILLED) models the machine dying mid-persist:
-			// the entry stays linked with torn xattrs for the recovery pass
-			// to repair or quarantine. Any other error unwinds the create.
-			k.hookCalls++
-			if perr := k.sec.InodePostCreate(t, dir, ino); perr != nil {
-				if errIsKilled(perr) {
-					// The module's persist path crashed: the creating task
-					// dies here, and the linked-but-torn inode awaits the
-					// recovery pass. No unwind — a real crash can't unwind.
-					k.killTaskLocked(t)
-				} else {
-					delete(dir.children, name)
+			ino = existing
+		case lerr == ErrNoEnt:
+			ino = newInode(TypeRegular, 0o644)
+			ino.parent = dir
+			if k.sec != nil {
+				k.hook()
+				if err := k.sec.InodeInitSecurity(t, dir, ino, labels); err != nil {
+					unlock()
+					return -1, err
 				}
-				return -1, perr
+				// Creating an entry writes the parent directory.
+				k.hook()
+				if err := k.sec.InodePermission(t, dir, MayWrite); err != nil {
+					unlock()
+					return -1, err
+				}
 			}
+			dir.children[name] = ino
+			created = true
+			charge(workCreate - workStat)
+			if k.sec != nil {
+				// Persist the new inode's labels now that the entry is linked.
+				// A crash here (EKILLED) models the machine dying mid-persist:
+				// the entry stays linked with torn xattrs for the recovery pass
+				// to repair or quarantine. Any other error unwinds the create.
+				k.hook()
+				if perr := k.sec.InodePostCreate(t, dir, ino); perr != nil {
+					if errIsKilled(perr) {
+						// The module's persist path crashed: the creating task
+						// dies here, and the linked-but-torn inode awaits the
+						// recovery pass. No unwind — a real crash can't unwind.
+						k.killTaskHolding(t)
+					} else {
+						delete(dir.children, name)
+					}
+					unlock()
+					return -1, perr
+				}
+			}
+			unlock()
+		default:
+			unlock()
+			// hideDenied must run only on this arm: mapping a read-denial to
+			// ENOENT before the switch would route it into the create arm and
+			// clobber an entry the caller cannot even see.
+			return -1, hideDenied(lerr)
 		}
-	default:
-		// hideDenied must run only on this arm: mapping a read-denial to
-		// ENOENT before the switch would route it into the create arm and
-		// clobber an entry the caller cannot even see.
-		return -1, hideDenied(lerr)
+	} else {
+		ino, err = k.lookup(t, dir, name)
+		if err != nil {
+			return -1, hideDenied(err)
+		}
 	}
 	if ino.IsDir() {
 		return -1, ErrIsDir
@@ -237,26 +291,29 @@ func (k *Kernel) openLabeled(t *Task, path string, flags OpenFlag, labels *difc.
 			mask |= MayWrite
 		}
 		if k.sec != nil {
-			k.hookCalls++
+			k.hook()
 			if err := k.sec.InodePermission(t, ino, mask); err != nil {
 				return -1, hideDenied(err)
 			}
 		}
 	}
-	if flags&OTrunc != 0 && ino.Type == TypeRegular {
-		ino.data = nil
-	}
 	f := &File{Inode: ino, Flags: flags}
+	if flags&OTrunc != 0 && ino.Type == TypeRegular {
+		unlock := k.lockInode(ino)
+		ino.data = nil
+		unlock()
+	}
 	if flags&OAppend != 0 {
+		unlock := k.rlockInode(ino)
 		f.offset = ino.Size()
+		unlock()
 	}
 	return t.installFD(f), nil
 }
 
 // Close releases the descriptor.
 func (k *Kernel) Close(t *Task, fd FD) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	if _, err := t.file(fd); err != nil {
 		return err
 	}
@@ -268,8 +325,7 @@ func (k *Kernel) Close(t *Task, fd FD) error {
 // non-blocking: an empty pipe returns ErrAgain, never EOF, because an EOF
 // from an exiting writer would leak information (§5.2).
 func (k *Kernel) Read(t *Task, fd FD, buf []byte) (int, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	f, err := t.file(fd)
 	if err != nil {
 		return 0, err
@@ -288,8 +344,11 @@ func (k *Kernel) Read(t *Task, fd FD, buf []byte) (int, error) {
 	default:
 		charge(workDeviceIO)
 	}
+	// The file lock covers the offset and the lazily attached file blob;
+	// a File may be shared across tasks via DupTo.
+	defer k.lockFile(f)()
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.FilePermission(t, f, MayRead); err != nil {
 			return 0, err
 		}
@@ -306,14 +365,24 @@ func (k *Kernel) Read(t *Task, fd FD, buf []byte) (int, error) {
 	}
 	switch f.Inode.Type {
 	case TypeRegular:
-		if f.offset >= len(f.Inode.data) {
+		ino := f.Inode
+		unlock := k.rlockInode(ino)
+		var n int
+		eof := f.offset >= len(ino.data)
+		if !eof {
+			n = copy(buf, ino.data[f.offset:])
+			f.offset += n
+		}
+		unlock()
+		if eof {
 			return 0, nil // EOF
 		}
-		n := copy(buf, f.Inode.data[f.offset:])
-		f.offset += n
+		k.ioWait()
 		return n, nil
 	case TypePipe:
+		unlock := k.lockInode(f.Inode)
 		n := f.Inode.pipe.read(buf)
+		unlock()
 		if n == 0 {
 			return 0, ErrAgain
 		}
@@ -334,8 +403,7 @@ func (k *Kernel) Read(t *Task, fd FD, buf []byte) (int, error) {
 // check or overflow the buffer are silently dropped: the caller sees
 // success either way (§5.2).
 func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	f, err := t.file(fd)
 	if err != nil {
 		return 0, err
@@ -354,6 +422,7 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 	default:
 		charge(workDeviceIO)
 	}
+	defer k.lockFile(f)()
 	if f.Inode.Type == TypePipe {
 		// The label check result must not be observable: consult the hook
 		// but report success regardless, dropping the message on a
@@ -362,7 +431,7 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 		// a policy drop, a fault drop and a delivery apart.
 		delivered := true
 		if k.sec != nil {
-			k.hookCalls++
+			k.hook()
 			if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
 				delivered = false
 			}
@@ -374,12 +443,14 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 			delivered = false
 		}
 		if delivered {
+			unlock := k.lockInode(f.Inode)
 			f.Inode.pipe.write(data)
+			unlock()
 		}
 		return len(data), nil
 	}
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
 			return 0, err
 		}
@@ -392,6 +463,7 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 		// The offset does not advance — exactly a half-flushed page cache.
 		if err := k.inject("fs.write", t); err != nil {
 			torn := data[:len(data)/2]
+			unlock := k.lockInode(ino)
 			end := f.offset + len(torn)
 			if end > len(ino.data) {
 				grown := make([]byte, end)
@@ -399,8 +471,10 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 				ino.data = grown
 			}
 			copy(ino.data[f.offset:], torn)
+			unlock()
 			return 0, err
 		}
+		unlock := k.lockInode(ino)
 		end := f.offset + len(data)
 		if end > len(ino.data) {
 			grown := make([]byte, end)
@@ -409,6 +483,8 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 		}
 		copy(ino.data[f.offset:], data)
 		f.offset = end
+		unlock()
+		k.ioWait()
 		return len(data), nil
 	case TypeDevNull, TypeDevZero:
 		return len(data), nil
@@ -419,8 +495,7 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 
 // Seek resets a regular file's offset.
 func (k *Kernel) Seek(t *Task, fd FD, offset int) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	f, err := t.file(fd)
 	if err != nil {
 		return err
@@ -428,6 +503,7 @@ func (k *Kernel) Seek(t *Task, fd FD, offset int) error {
 	if f.Inode.Type != TypeRegular || offset < 0 {
 		return ErrInval
 	}
+	defer k.lockFile(f)()
 	f.offset = offset
 	return nil
 }
@@ -435,8 +511,7 @@ func (k *Kernel) Seek(t *Task, fd FD, offset int) error {
 // Unlink removes the entry at path. Removing a name writes the parent
 // directory, and removing the inode requires write access to it.
 func (k *Kernel) Unlink(t *Task, path string) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workUnlink)
 	if err := k.inject("fs.unlink", t); err != nil {
 		return err
@@ -448,7 +523,11 @@ func (k *Kernel) Unlink(t *Task, path string) error {
 	if name == "" {
 		return ErrIsDir
 	}
-	ino, err := k.lookup(t, dir, name)
+	// Hold dir's write lock across lookup → checks → delete so the entry
+	// cannot be swapped or re-created between the check and the removal.
+	unlock := k.lockInode(dir)
+	defer unlock()
+	ino, err := k.lookupIn(t, dir, name)
 	if err != nil {
 		return hideDenied(err)
 	}
@@ -461,21 +540,23 @@ func (k *Kernel) Unlink(t *Task, path string) error {
 		// the inode — and could not after any legal label change — must see
 		// the same ENOENT as for a nonexistent path. Checked first so
 		// read-denial wins over any EACCES from the write checks.
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, ino, MayUnlink); err != nil {
 			return hideDenied(err)
 		}
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, dir, MayWrite); err != nil {
 			return err
 		}
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, ino, MayWrite); err != nil {
 			return err
 		}
 	}
 	delete(dir.children, name)
+	unlockC := k.lockInode(ino) // parent→child order, dir still held
 	ino.nlink--
+	unlockC()
 	return nil
 }
 
@@ -490,8 +571,7 @@ func (k *Kernel) MkdirLabeled(t *Task, path string, mode Mode, labels difc.Label
 }
 
 func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labels) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workMkdir)
 	if err := k.inject("fs.mkdir", t); err != nil {
 		return err
@@ -503,7 +583,9 @@ func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labe
 	if name == "" {
 		return ErrExist
 	}
-	if _, err := k.lookup(t, dir, name); err == nil {
+	unlock := k.lockInode(dir)
+	defer unlock()
+	if _, err := k.lookupIn(t, dir, name); err == nil {
 		return ErrExist
 	} else if err != ErrNoEnt {
 		return hideDenied(err)
@@ -511,21 +593,21 @@ func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labe
 	child := newInode(TypeDir, mode)
 	child.parent = dir
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodeInitSecurity(t, dir, child, labels); err != nil {
 			return err
 		}
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, dir, MayWrite); err != nil {
 			return err
 		}
 	}
 	dir.children[name] = child
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if perr := k.sec.InodePostCreate(t, dir, child); perr != nil {
 			if errIsKilled(perr) {
-				k.killTaskLocked(t)
+				k.killTaskHolding(t)
 			} else {
 				delete(dir.children, name)
 			}
@@ -537,8 +619,7 @@ func (k *Kernel) mkdirLabeled(t *Task, path string, mode Mode, labels *difc.Labe
 
 // ReadDir lists the entries of the directory at path.
 func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workReadDir)
 	if err := k.inject("fs.readdir", t); err != nil {
 		return nil, err
@@ -551,25 +632,27 @@ func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
 		return nil, ErrNotDir
 	}
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, ino, MayRead); err != nil {
 			return nil, hideDenied(err)
 		}
 	}
-	return ino.childNames(), nil
+	unlock := k.rlockInode(ino)
+	names := ino.childNames()
+	unlock()
+	return names, nil
 }
 
 // Pipe creates a pipe and returns (read end, write end). The pipe's inode
 // label is initialized from the creating task by the security module.
 func (k *Kernel) Pipe(t *Task) (FD, FD, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	if err := k.inject("fs.pipe", t); err != nil {
 		return -1, -1, err
 	}
 	ino := newInode(TypePipe, 0o600)
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodeInitSecurity(t, nil, ino, nil); err != nil {
 			return -1, -1, err
 		}
@@ -584,8 +667,7 @@ func (k *Kernel) Pipe(t *Task) (FD, FD, error) {
 // belong to the same simulated process for this to be meaningful; the
 // security hooks still check every subsequent operation.
 func (k *Kernel) DupTo(src *Task, fd FD, dst *Task) (FD, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin2(src, dst)()
 	f, err := src.file(fd)
 	if err != nil {
 		return -1, err
@@ -597,8 +679,7 @@ func (k *Kernel) DupTo(src *Task, fd FD, dst *Task) (FD, error) {
 
 // GetXattr reads an extended attribute from the inode at path.
 func (k *Kernel) GetXattr(t *Task, path, name string) ([]byte, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workXattr)
 	if err := k.inject("fs.xattr", t); err != nil {
 		return nil, err
@@ -608,12 +689,14 @@ func (k *Kernel) GetXattr(t *Task, path, name string) ([]byte, error) {
 		return nil, hideDenied(err)
 	}
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodePermission(t, ino, MayRead); err != nil {
 			return nil, hideDenied(err)
 		}
 	}
+	unlock := k.rlockInode(ino)
 	v, ok := ino.GetXattr(name)
+	unlock()
 	if !ok {
 		return nil, ErrNoAttr
 	}
@@ -626,8 +709,7 @@ func (k *Kernel) GetXattr(t *Task, path, name string) ([]byte, error) {
 // otherwise the mapping is backed by the open file, and the security
 // module checks the flow implied by prot.
 func (k *Kernel) Mmap(t *Task, length int, prot int, file FD) (uint64, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workMmap)
 	if length <= 0 {
 		return 0, ErrInval
@@ -640,7 +722,7 @@ func (k *Kernel) Mmap(t *Task, length int, prot int, file FD) (uint64, error) {
 		}
 		backing = f.Inode
 		if k.sec != nil {
-			k.hookCalls++
+			k.hook()
 			if err := k.sec.MmapFile(t, backing, prot); err != nil {
 				return 0, err
 			}
@@ -661,8 +743,7 @@ func (k *Kernel) Mmap(t *Task, length int, prot int, file FD) (uint64, error) {
 
 // Munmap removes the mapping starting at addr.
 func (k *Kernel) Munmap(t *Task, addr uint64) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workMmap / 6)
 	for i := range t.vmas {
 		if t.vmas[i].addr == addr {
@@ -677,8 +758,7 @@ func (k *Kernel) Munmap(t *Task, addr uint64) error {
 // pages not-present, so the next access takes a protection fault — the
 // lat_protfault pattern from lmbench.
 func (k *Kernel) Mprotect(t *Task, addr uint64, prot int) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	for i := range t.vmas {
 		if t.vmas[i].addr == addr {
 			t.vmas[i].prot = prot
@@ -695,8 +775,7 @@ func (k *Kernel) Mprotect(t *Task, addr uint64, prot int) error {
 // intent. It validates the vma, applies the module's mmap check for
 // file-backed pages, and maps the page in.
 func (k *Kernel) PageFault(t *Task, addr uint64, write bool) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workProtFault)
 	for i := range t.vmas {
 		v := &t.vmas[i]
@@ -709,7 +788,7 @@ func (k *Kernel) PageFault(t *Task, addr uint64, write bool) error {
 				return ErrFault
 			}
 			if v.file != nil && k.sec != nil {
-				k.hookCalls++
+				k.hook()
 				if err := k.sec.MmapFile(t, v.file, want); err != nil {
 					return err
 				}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -56,6 +57,14 @@ type Inode struct {
 	Mode   Mode
 	parent *Inode // nil for root and for pipes
 
+	// mu guards the mutable contents below (data, children, xattrs, pipe
+	// buffer, nlink) under the sharded discipline; parent locks are taken
+	// before child locks, and path walks hold at most one at a time
+	// (locking.go). The Security blob is NOT guarded here: it is attached
+	// before the inode is published and treated as immutable-in-place so
+	// permission hooks can read it without inode locks.
+	mu sync.RWMutex
+
 	// Security is the LSM-managed security blob. The kernel never looks
 	// inside it.
 	Security any
@@ -98,8 +107,10 @@ func (i *Inode) Size() int { return len(i.data) }
 // IsDir reports whether the inode is a directory.
 func (i *Inode) IsDir() bool { return i.Type == TypeDir }
 
-// SetXattr stores an extended attribute on the inode. Callers must hold
-// the kernel lock; the security module uses this to persist labels.
+// SetXattr stores an extended attribute on the inode. The security module
+// uses this to persist labels; it is called only on inodes not yet
+// reachable by other tasks (creation, with the parent directory locked)
+// or while the kernel is quiescent (boot labeling, crash recovery).
 func (i *Inode) SetXattr(name string, value []byte) {
 	if i.xattrs == nil {
 		i.xattrs = make(map[string][]byte)
@@ -109,8 +120,8 @@ func (i *Inode) SetXattr(name string, value []byte) {
 	i.xattrs[name] = v
 }
 
-// RemoveXattr deletes an extended attribute. Callers must hold the kernel
-// lock; the security module uses this to clear shadow label records.
+// RemoveXattr deletes an extended attribute. Same calling contexts as
+// SetXattr; the security module uses this to clear shadow label records.
 func (i *Inode) RemoveXattr(name string) {
 	delete(i.xattrs, name)
 }

@@ -393,7 +393,7 @@ func TestHookCallsZeroWithoutModule(t *testing.T) {
 	if k.HookCalls() != 0 {
 		t.Errorf("hook calls without module = %d", k.HookCalls())
 	}
-	if k.String() != "kernel{lsm=none}" {
+	if k.String() != "kernel{lsm=none,lock=sharded}" {
 		t.Errorf("String = %q", k.String())
 	}
 }

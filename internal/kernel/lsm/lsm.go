@@ -117,15 +117,28 @@ func (m *Module) taskState(t *kernel.Task) *taskSec {
 // records so that labels survive module "reboots", as ext3 xattrs do. The
 // lazy rebuild runs the same classification as the crash-recovery pass:
 // a torn record never silently degrades to unlabeled (persist.go).
+//
+// Under the kernel's sharded locking the lazy path never runs hot:
+// PrimeInode/PrimeTask attach blobs to every boot object before the
+// first syscall and InodeInitSecurity covers everything created later,
+// so concurrent hooks only ever read an already-attached blob.
 func (m *Module) inodeState(ino *kernel.Inode) *inodeSec {
 	if s, ok := ino.Security.(*inodeSec); ok {
 		return s
 	}
 	labels, _ := m.recoverInodeLabels(ino)
-	s := &inodeSec{labels: labels}
+	s := &inodeSec{labels: difc.InternLabels(labels)}
 	ino.Security = s
 	return s
 }
+
+// PrimeInode implements kernel.InodePrimer: it forces blob attachment at
+// boot, before any concurrent syscalls, so hook-side reads never race
+// with a lazy first-touch allocation.
+func (m *Module) PrimeInode(ino *kernel.Inode) { m.inodeState(ino) }
+
+// PrimeTask implements kernel.InodePrimer for the init task.
+func (m *Module) PrimeTask(t *kernel.Task) { m.taskState(t) }
 
 // TaskLabels reports a task's current labels (used by the VM runtime and
 // by tests; Linux would expose this through /proc).
@@ -152,7 +165,7 @@ func (m *Module) GrantCapability(t *kernel.Task, tag difc.Tag, kind difc.CapKind
 // flows (§4.1).
 func (m *Module) RegisterTCBThread(t *kernel.Task) {
 	s := m.taskState(t)
-	s.labels.I = s.labels.I.Add(m.tcbTag)
+	s.labels.I = difc.Intern(s.labels.I.Add(m.tcbTag))
 	m.tcbProcs.Store(t.Proc, struct{}{})
 }
 
@@ -166,7 +179,7 @@ func (m *Module) InstallSystemIntegrity(k *kernel.Kernel) {
 	// raise its integrity to {admin} when it must write system
 	// directories (installing caps files, creating home directories).
 	m.GrantCapability(k.InitTask(), m.adminTag, difc.CapBoth)
-	adminLabels := difc.Labels{I: difc.NewLabel(m.adminTag)}
+	adminLabels := difc.InternLabels(difc.Labels{I: difc.NewLabel(m.adminTag)})
 	label := func(ino *kernel.Inode) {
 		s := m.inodeState(ino)
 		s.labels = adminLabels
@@ -222,7 +235,7 @@ func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, label
 	ts := m.taskState(t)
 	s := &inodeSec{}
 	if labels == nil {
-		s.labels = ts.labels
+		s.labels = difc.InternLabels(ts.labels)
 	} else {
 		f := *labels
 		// (1) The creator's current secrecy must flow into the new file:
@@ -247,7 +260,7 @@ func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, label
 		// (3) Write access to the parent directory with the creator's
 		// *current* label is checked by the kernel's separate
 		// InodePermission(dir, MayWrite) hook call.
-		s.labels = f
+		s.labels = difc.InternLabels(f)
 	}
 	// In-memory only: this hook runs before the entry is linked, so a
 	// crash here leaves nothing behind. Persistence happens in
@@ -370,10 +383,12 @@ func (m *Module) SetTaskLabel(t *kernel.Task, typ kernel.LabelType, l difc.Label
 	if !difc.CanChange(cur, l, s.caps) {
 		return fmt.Errorf("%w: label change %v -> %v not permitted by %v", kernel.ErrPerm, cur, l, s.caps)
 	}
+	// Task labels are the hottest SubsetOf operand (every permission hook
+	// compares them against object labels), so intern on the way in.
 	if typ == kernel.Secrecy {
-		s.labels.S = l
+		s.labels.S = difc.Intern(l)
 	} else {
-		s.labels.I = l
+		s.labels.I = difc.Intern(l)
 	}
 	return nil
 }
@@ -409,7 +424,7 @@ func (m *Module) SetLabelTCB(t, target *kernel.Task, labels difc.Labels) error {
 	if t.Proc != target.Proc {
 		return fmt.Errorf("%w: set_label_tcb outside caller's process", kernel.ErrPerm)
 	}
-	m.taskState(target).labels = labels
+	m.taskState(target).labels = difc.InternLabels(labels)
 	return nil
 }
 

@@ -264,7 +264,7 @@ func (m *Module) RecoverLabels(k *kernel.Kernel) RecoveryStats {
 		st.Scanned++
 		ino.Security = nil
 		labels, state := m.recoverInodeLabels(ino)
-		ino.Security = &inodeSec{labels: labels}
+		ino.Security = &inodeSec{labels: difc.InternLabels(labels)}
 		switch state {
 		case "clean":
 			st.Clean++

@@ -1,5 +1,7 @@
 package kernel
 
+import "sync"
+
 // Sockets. The Laminar OS "governs information flows through all standard
 // OS interfaces, including through devices, files, pipes and sockets"
 // (§4.1). The simulated kernel models two socket shapes:
@@ -33,8 +35,7 @@ const (
 // two descriptors. The socket inode takes the creating task's labels via
 // InodeInitSecurity, like a pipe.
 func (k *Kernel) Socketpair(t *Task) (FD, FD, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workSocketSetup)
 	a, b, err := k.newSocketPair(t)
 	if err != nil {
@@ -46,7 +47,7 @@ func (k *Kernel) Socketpair(t *Task) (FD, FD, error) {
 func (k *Kernel) newSocketPair(t *Task) (*File, *File, error) {
 	ino := newInode(TypePipe, 0o600) // label carrier for the connection
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.InodeInitSecurity(t, nil, ino, nil); err != nil {
 			return nil, nil, err
 		}
@@ -61,8 +62,7 @@ func (k *Kernel) newSocketPair(t *Task) (*File, *File, error) {
 // Send writes data to a socket endpoint. Illegal flows and full buffers
 // drop silently, exactly like pipe writes (§5.2).
 func (k *Kernel) Send(t *Task, fd FD, data []byte) (int, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workSocketIO)
 	f, err := t.file(fd)
 	if err != nil {
@@ -71,9 +71,10 @@ func (k *Kernel) Send(t *Task, fd FD, data []byte) (int, error) {
 	if f.sock == nil {
 		return 0, ErrInval
 	}
+	defer k.lockFile(f)()
 	delivered := true
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
 			delivered = false
 		}
@@ -87,15 +88,17 @@ func (k *Kernel) Send(t *Task, fd FD, data []byte) (int, error) {
 		delivered = false
 	}
 	if delivered {
+		// The connection inode's lock covers both direction buffers.
+		unlock := k.lockInode(f.Inode)
 		f.sock.writeBuf.write(data)
+		unlock()
 	}
 	return len(data), nil
 }
 
 // Recv reads from a socket endpoint; empty buffers return EAGAIN.
 func (k *Kernel) Recv(t *Task, fd FD, buf []byte) (int, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workSocketIO)
 	f, err := t.file(fd)
 	if err != nil {
@@ -104,8 +107,9 @@ func (k *Kernel) Recv(t *Task, fd FD, buf []byte) (int, error) {
 	if f.sock == nil {
 		return 0, ErrInval
 	}
+	defer k.lockFile(f)()
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		if err := k.sec.FilePermission(t, f, MayRead); err != nil {
 			return 0, err
 		}
@@ -117,7 +121,9 @@ func (k *Kernel) Recv(t *Task, fd FD, buf []byte) (int, error) {
 		}
 		return 0, ErrAgain
 	}
+	unlock := k.lockInode(f.Inode)
 	n := f.sock.readBuf.read(buf)
+	unlock()
 	if n == 0 {
 		return 0, ErrAgain
 	}
@@ -129,12 +135,17 @@ func (k *Kernel) Recv(t *Task, fd FD, buf []byte) (int, error) {
 // a tainted task cannot advertise a name (the name would leak), mirroring
 // the labeled-file-creation rule.
 func (k *Kernel) Listen(t *Task, name string) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workSocketSetup)
 	if err := k.inject("socket.listen", t); err != nil {
 		return err
 	}
+	// lmu is held across dup-check → hook → insert so the whole
+	// advertise step is atomic and ErrExist keeps priority over a policy
+	// denial, exactly as under the big lock. The hook only reads label
+	// blobs, so no lock-order edge is created.
+	k.lmu.Lock()
+	defer k.lmu.Unlock()
 	if k.listeners == nil {
 		k.listeners = make(map[string]*listener)
 	}
@@ -142,7 +153,7 @@ func (k *Kernel) Listen(t *Task, name string) error {
 		return ErrExist
 	}
 	if k.sec != nil {
-		k.hookCalls++
+		k.hook()
 		// The namespace is an unlabeled shared resource: advertising a
 		// name is a write to it, so a tainted task cannot leak through
 		// listener names.
@@ -154,9 +165,12 @@ func (k *Kernel) Listen(t *Task, name string) error {
 	return nil
 }
 
-// listener is a pending-connection queue.
+// listener is a pending-connection queue. Listeners are never removed
+// from the namespace, so a pointer obtained under lmu stays valid; mu
+// guards the pending queue.
 type listener struct {
 	owner   *Task
+	mu      sync.Mutex
 	pending []*File // accept-side endpoints awaiting Accept
 }
 
@@ -165,13 +179,14 @@ type listener struct {
 // labels; whether the listener can use it is decided by the per-operation
 // checks on its side.
 func (k *Kernel) Connect(t *Task, name string) (FD, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workSocketSetup)
 	if err := k.inject("socket.connect", t); err != nil {
 		return -1, err
 	}
+	k.lmu.Lock()
 	l, ok := k.listeners[name]
+	k.lmu.Unlock()
 	if !ok {
 		return -1, ErrNoEnt
 	}
@@ -179,30 +194,38 @@ func (k *Kernel) Connect(t *Task, name string) (FD, error) {
 	if err != nil {
 		return -1, err
 	}
+	l.mu.Lock()
 	l.pending = append(l.pending, server)
+	l.mu.Unlock()
 	return t.installFD(client), nil
 }
 
 // Accept dequeues a pending connection on the named listener; EAGAIN when
 // none is waiting. Only the listener's owner may accept.
 func (k *Kernel) Accept(t *Task, name string) (FD, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	defer k.begin(t)()
 	charge(workSocketSetup)
 	if err := k.inject("socket.accept", t); err != nil {
 		return -1, err
 	}
+	k.lmu.Lock()
 	l, ok := k.listeners[name]
+	k.lmu.Unlock()
 	if !ok {
 		return -1, ErrNoEnt
 	}
 	if l.owner != t {
 		return -1, ErrPerm
 	}
-	if len(l.pending) == 0 {
+	l.mu.Lock()
+	var server *File
+	if len(l.pending) > 0 {
+		server = l.pending[0]
+		l.pending = l.pending[1:]
+	}
+	l.mu.Unlock()
+	if server == nil {
 		return -1, ErrAgain
 	}
-	server := l.pending[0]
-	l.pending = l.pending[1:]
 	return t.installFD(server), nil
 }

@@ -1,5 +1,10 @@
 package kernel
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // TID identifies a kernel task (thread). Threads are the principals of the
 // Laminar DIFC model (§3).
 type TID uint64
@@ -38,10 +43,16 @@ type Task struct {
 	// Laminar module). Opaque to the kernel.
 	Security any
 
+	// mu is the task's syscall-entry lock under the sharded discipline:
+	// held for the duration of every syscall the task issues, it guards
+	// all mutable per-task state below plus Cwd and the Security blob
+	// (see locking.go for the full ordering).
+	mu sync.Mutex
+
 	k       *Kernel
 	fds     map[FD]*File
 	nextFD  FD
-	exited  bool
+	exited  atomic.Bool
 	sigs    []Signal
 	vmas    []vma
 	nextMap uint64
@@ -73,8 +84,13 @@ const PageSize = 4096
 // file-descriptor operation, §2, so the blob mostly caches the inode
 // reference).
 type File struct {
-	Inode  *Inode
-	Flags  OpenFlag
+	Inode *Inode
+	Flags OpenFlag
+
+	// mu guards offset and the lazily attached Security blob. A File can
+	// be shared across tasks (DupTo models fd passing), so per-task locks
+	// do not cover it.
+	mu     sync.Mutex
 	offset int
 
 	// Security is the LSM blob attached at open time.
@@ -100,7 +116,7 @@ const (
 )
 
 // Exited reports whether the task has exited.
-func (t *Task) Exited() bool { return t.exited }
+func (t *Task) Exited() bool { return t.exited.Load() }
 
 // Kernel returns the kernel this task belongs to.
 func (t *Task) Kernel() *Kernel { return t.k }

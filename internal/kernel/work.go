@@ -1,5 +1,7 @@
 package kernel
 
+import "sync/atomic"
+
 // Work model. The simulated kernel elides the hardware work of a real
 // syscall — mode switches, page-table updates, address-space copies, disk
 // metadata writes — which would make security-hook costs look enormous
@@ -31,14 +33,16 @@ const (
 	workXattr     = 500
 )
 
-// workSink defeats dead-code elimination of the spin loop.
-var workSink uint64
+// workSink defeats dead-code elimination of the spin loop. Accessed
+// atomically: charge() runs outside any kernel lock in sharded mode (the
+// spin models per-CPU hardware work, so it must not serialize syscalls).
+var workSink atomic.Uint64
 
 // charge spins for approximately units nanoseconds of CPU work.
 func charge(units int) {
-	acc := workSink
+	acc := workSink.Load()
 	for i := 0; i < units; i++ {
 		acc = acc*1664525 + 1013904223
 	}
-	workSink = acc
+	workSink.Store(acc)
 }

@@ -182,7 +182,10 @@ func (t *Thread) Secure(labels difc.Labels, caps difc.CapSet, body func(*Region)
 	}
 	r := &Region{
 		thread: t,
-		labels: labels,
+		// Region labels are one operand of every read/write barrier in the
+		// region; interning them makes those SubsetOf checks hit the difc
+		// flow cache.
+		labels: difc.InternLabels(labels),
 		caps:   caps,
 		parent: t.region,
 	}

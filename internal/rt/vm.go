@@ -115,7 +115,15 @@ func (vm *VM) setKernelLabels(t *Thread, labels difc.Labels) error {
 			return kernel.ErrKilled
 		}
 	}
-	return vm.mod.SetLabelTCB(vm.tcb, t.task, labels)
+	// SetLabelTCB mutates the target task's security blob directly, below
+	// the kernel's syscall entry points, so take the kernel's task locks
+	// explicitly: under the sharded kernel this serializes the label store
+	// against hooks on concurrent syscalls that read the same blob.
+	var err error
+	vm.k.WithTasksLocked(vm.tcb, t.task, func() {
+		err = vm.mod.SetLabelTCB(vm.tcb, t.task, labels)
+	})
+	return err
 }
 
 // now is indirected for tests.

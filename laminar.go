@@ -130,10 +130,13 @@ type System struct {
 	mod *lsm.Module
 }
 
-// NewSystem boots a kernel with the Laminar LSM.
-func NewSystem() *System {
+// NewSystem boots a kernel with the Laminar LSM. Extra kernel options
+// (e.g. kernel.WithBigLock for differential testing, or
+// kernel.WithIOLatency for I/O-bound benchmarks) are applied after the
+// module registration.
+func NewSystem(opts ...kernel.Option) *System {
 	mod := lsm.New()
-	k := kernel.New(kernel.WithSecurityModule(mod))
+	k := kernel.New(append([]kernel.Option{kernel.WithSecurityModule(mod)}, opts...)...)
 	mod.InstallSystemIntegrity(k)
 	return &System{k: k, mod: mod}
 }
@@ -142,10 +145,12 @@ func NewSystem() *System {
 // and label-persistence path consult the given fault injector (the chaos
 // harness uses this; see internal/faultinject). The module's injector is
 // installed only after boot labeling, which models firmware that cannot
-// fail before the machine is up.
-func NewSystemWithInjector(inj faultinject.Injector) *System {
+// fail before the machine is up. Extra kernel options apply as in
+// NewSystem.
+func NewSystemWithInjector(inj faultinject.Injector, opts ...kernel.Option) *System {
 	mod := lsm.New()
-	k := kernel.New(kernel.WithSecurityModule(mod), kernel.WithFaultInjector(inj))
+	base := []kernel.Option{kernel.WithSecurityModule(mod), kernel.WithFaultInjector(inj)}
+	k := kernel.New(append(base, opts...)...)
 	mod.InstallSystemIntegrity(k)
 	mod.SetFaultInjector(inj)
 	return &System{k: k, mod: mod}

@@ -3,8 +3,9 @@
 // JIT.
 //
 //	laminar-asm run prog.mjvm -entry main -args 5,7 -mode static -opt
-//	laminar-asm dis prog.mjvm               # source disassembly
-//	laminar-asm dis prog.mjvm -compiled     # compiled form with barriers
+//	laminar-asm run prog.mjvm -opt=interproc -stats   # whole-program elimination
+//	laminar-asm dis prog.mjvm                         # source disassembly
+//	laminar-asm dis prog.mjvm -compiled               # compiled form with barriers
 //
 // The text format is documented in internal/jvm/parse.go.
 package main
@@ -17,7 +18,42 @@ import (
 	"strings"
 
 	"laminar/internal/jvm"
+	"laminar/internal/jvm/analysis"
 )
+
+// optFlag parses -opt as a boolean with one extra spelling: bare -opt (or
+// -opt=true) enables the intraprocedural elimination pass, -opt=interproc
+// additionally attaches the whole-program summary analysis.
+type optFlag struct {
+	enabled   bool
+	interproc bool
+}
+
+func (o *optFlag) String() string {
+	switch {
+	case o.interproc:
+		return "interproc"
+	case o.enabled:
+		return "true"
+	}
+	return "false"
+}
+
+func (o *optFlag) Set(s string) error {
+	switch s {
+	case "interproc":
+		o.enabled, o.interproc = true, true
+	case "true", "":
+		o.enabled, o.interproc = true, false
+	case "false":
+		o.enabled, o.interproc = false, false
+	default:
+		return fmt.Errorf("want true, false or interproc, got %q", s)
+	}
+	return nil
+}
+
+func (o *optFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	if len(os.Args) < 3 {
@@ -25,9 +61,9 @@ func main() {
 	}
 	cmd, path := os.Args[1], os.Args[2]
 	fs := flag.NewFlagSet("laminar-asm", flag.ExitOnError)
+	var opt optFlag
 	var (
 		mode     = fs.String("mode", "static", "barrier mode: none, static, dynamic")
-		optimize = fs.Bool("opt", false, "redundant-barrier elimination")
 		inline   = fs.Bool("inline", false, "inline small leaf methods")
 		entry    = fs.String("entry", "main", "entry method")
 		argList  = fs.String("args", "", "comma-separated integer arguments")
@@ -35,6 +71,7 @@ func main() {
 		compiled = fs.Bool("compiled", false, "dis: show the compiled form")
 		stats    = fs.Bool("stats", false, "run: print machine statistics")
 	)
+	fs.Var(&opt, "opt", "barrier elimination: bare flag = intraprocedural, =interproc = whole-program")
 	fs.Parse(os.Args[3:])
 
 	src, err := os.ReadFile(path)
@@ -45,7 +82,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := jvm.CompileOptions{Optimize: *optimize, Inline: *inline}
+	opts := jvm.CompileOptions{Optimize: opt.enabled, Interproc: opt.interproc, Inline: *inline}
 	switch *mode {
 	case "none":
 		opts.Mode = jvm.BarrierNone
@@ -55,6 +92,11 @@ func main() {
 		opts.Mode = jvm.BarrierDynamic
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if opt.interproc {
+		if _, err := analysis.Attach(prog); err != nil {
+			fatal(err)
+		}
 	}
 
 	switch cmd {
@@ -90,6 +132,7 @@ func main() {
 			rep := mc.CompileReport()
 			fmt.Fprintf(os.Stderr, "compiled methods=%d instrs=%d barriers=%d elided=%d inlined=%d\n",
 				rep.Methods, rep.InstrsOut, rep.BarriersEmitted, rep.BarriersElided, rep.InlinedCalls)
+			printBarrierStats(prog)
 		}
 	case "dis":
 		if !*compiled {
@@ -100,8 +143,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(prog.Dump())
+		printBarrierStats(prog)
 	default:
 		usage()
+	}
+}
+
+// printBarrierStats writes the per-method barrier accounting table: sites
+// before elimination, sites the dataflow pass removed, and barrier
+// instructions actually emitted (allocation labeling included).
+func printBarrierStats(prog *jvm.Program) {
+	all := prog.BarrierStats()
+	if len(all) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%-16s %-14s %6s %7s %8s %10s %s\n",
+		"method", "variant", "sites", "elided", "emitted", "remaining", "")
+	for _, s := range all {
+		note := ""
+		if s.BarrierFree {
+			note = "barrier-free"
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %-14s %6d %7d %8d %10d %s\n",
+			s.Method, s.Variant, s.Sites, s.Elided, s.Emitted, s.Sites-s.Elided, note)
 	}
 }
 

@@ -40,6 +40,8 @@ func main() {
 		concOps   = flag.Int("concops", 12000, "syscalls per task in the storms")
 		concIO    = flag.Duration("concio", 30*time.Microsecond, "modeled device latency for the io storm")
 		concJSON  = flag.String("concjson", "BENCH_concurrency.json", "where -concurrency writes its JSON result")
+		barriers  = flag.Bool("barriers", false, "barrier-reduction table over the optimization corpus")
+		barrJSON  = flag.String("barriersjson", "BENCH_barriers.json", "where -barriers writes its JSON result")
 		scale     = flag.Int("scale", 1, "workload scale factor (apps)")
 		iters     = flag.Int("iters", 300, "JVM workload loop iterations")
 		trials    = flag.Int("trials", 5, "trials per measurement (median/min)")
@@ -142,6 +144,24 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *concJSON)
+		}
+	}
+	if *all || *barriers {
+		ran = true
+		rep, err := eval.Barriers()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *barrJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*barrJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *barrJSON)
 		}
 	}
 	if !ran {

@@ -1,0 +1,208 @@
+// Command laminar-vet is the static analysis companion to laminar-asm: it
+// checks MiniJVM programs against the §5.1 security-region restrictions
+// without running them, prints the interprocedural summaries the
+// barrier-elimination pass computes, and explains every keep/eliminate
+// decision the compiler would make.
+//
+//	laminar-vet vet prog.mjvm [more.mjvm ...]   # region-safety lint
+//	laminar-vet summaries prog.mjvm             # per-method dataflow summaries
+//	laminar-vet explain prog.mjvm [-method m]   # per-site barrier decisions
+//
+// vet exits 1 when any non-advisory finding (or verification error) is
+// reported, so it works as a CI gate. Findings are conservative: every
+// access that is guaranteed to be denied at runtime is flagged, and a
+// small documented set of risky-but-legal patterns is reported as
+// advisory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"laminar/internal/jvm"
+	"laminar/internal/jvm/analysis"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd := os.Args[1]
+	switch cmd {
+	case "vet":
+		os.Exit(runVet(os.Args[2:]))
+	case "summaries":
+		os.Exit(runSummaries(os.Args[2:]))
+	case "explain":
+		os.Exit(runExplain(os.Args[2:]))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: laminar-vet vet|summaries|explain <file.mjvm> [flags]")
+	os.Exit(2)
+}
+
+// load parses one source file. Verification is left to the caller: vet
+// reports verifier rejections as findings, the other subcommands require
+// a verifiable program.
+func load(path string) (*jvm.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := jvm.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return prog, nil
+}
+
+// runVet lints every named file and prints findings one per line,
+// prefixed with the file name. Exit status 1 when any hard (non-advisory)
+// finding or verification failure is seen.
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("laminar-vet vet", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "treat advisory findings as errors")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	hard := 0
+	for _, path := range fs.Args() {
+		prog, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "laminar-vet:", err)
+			hard++
+			continue
+		}
+		// A verifier rejection is itself a finding: the structural
+		// restrictions (§5.1) overlap with the lint rules, and vet must
+		// not crash on programs the runtime would refuse to load.
+		if err := prog.Verify(); err != nil {
+			fmt.Printf("%s: [verify] %v\n", path, err)
+			hard++
+			continue
+		}
+		for _, f := range analysis.Lint(prog) {
+			fmt.Printf("%s: %s\n", path, f)
+			if !f.Advisory || *strict {
+				hard++
+			}
+		}
+	}
+	if hard > 0 {
+		return 1
+	}
+	return 0
+}
+
+// factString renders fact bits as rw / r- / -w / --.
+func factString(bits uint8) string {
+	b := []byte("--")
+	if bits&jvm.FactRead != 0 {
+		b[0] = 'r'
+	}
+	if bits&jvm.FactWrite != 0 {
+		b[1] = 'w'
+	}
+	return string(b)
+}
+
+func factList(facts []uint8) string {
+	if len(facts) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(facts))
+	for i, f := range facts {
+		parts[i] = factString(f)
+	}
+	return strings.Join(parts, ",")
+}
+
+// runSummaries prints the per-method interprocedural summary table.
+func runSummaries(args []string) int {
+	fs := flag.NewFlagSet("laminar-vet summaries", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laminar-vet:", err)
+		return 1
+	}
+	res, err := analysis.Attach(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laminar-vet:", err)
+		return 1
+	}
+	ip := prog.Interproc()
+	fmt.Printf("%-16s %-10s %-12s %-6s %-8s %-12s %s\n",
+		"METHOD", "KIND", "ENSURES", "RET", "STATICS", "ENTRY", "BARRIER-FREE")
+	for i, m := range prog.Methods {
+		kind := "method"
+		if m.Secure != nil {
+			kind = "region"
+		}
+		s := res.Summaries[i]
+		free := ""
+		if ip != nil && i < len(ip.BarrierFree) && ip.BarrierFree[i] {
+			free = "yes"
+		}
+		fmt.Printf("%-16s %-10s %-12s %-6s %-8s %-12s %s\n",
+			m.Name, kind,
+			factList(s.Ensures), factString(s.Return), factString(s.Statics),
+			factList(s.EntryChecked), free)
+	}
+	return 0
+}
+
+// runExplain prints the keep/eliminate decision and its reason for every
+// barrier site, using the same dataflow pass the compiler runs.
+func runExplain(args []string) int {
+	fs := flag.NewFlagSet("laminar-vet explain", flag.ExitOnError)
+	method := fs.String("method", "", "restrict output to one method")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laminar-vet:", err)
+		return 1
+	}
+	if _, err := analysis.Attach(prog); err != nil {
+		fmt.Fprintln(os.Stderr, "laminar-vet:", err)
+		return 1
+	}
+	ip := prog.Interproc()
+	for i, m := range prog.Methods {
+		if *method != "" && m.Name != *method {
+			continue
+		}
+		// Invoke-reached code assumes the caller-proven entry facts;
+		// secure methods and host entries assume none.
+		var entry []uint8
+		if ip != nil && m.Secure == nil && i < len(ip.EntryChecked) {
+			entry = ip.EntryChecked[i]
+		}
+		decisions := prog.BarrierDecisions(m, entry)
+		if len(decisions) == 0 {
+			continue
+		}
+		fmt.Printf("%s:\n", m.Name)
+		for _, d := range decisions {
+			verdict := "eliminate"
+			if d.Kept {
+				verdict = "keep"
+			}
+			fmt.Printf("  @%-4d %-12s %-12s %-9s %s\n", d.PC, d.Op, d.Kind, verdict, d.Reason)
+		}
+	}
+	return 0
+}

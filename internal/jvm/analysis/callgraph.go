@@ -1,0 +1,131 @@
+package analysis
+
+import "laminar/internal/jvm"
+
+// CallSite is one OpInvoke instruction.
+type CallSite struct {
+	Caller  int  // method table index of the calling method
+	PC      int  // pc of the invoke within the caller's code array
+	InCatch bool // the site is in the caller's catch block
+}
+
+// CallGraph is the program's static call graph.
+type CallGraph struct {
+	// Callees[mi] lists the methods mi invokes (deduplicated), including
+	// from its catch block.
+	Callees [][]int
+	// Sites[mi] lists every invoke site that targets mi. Interprocedural
+	// entry facts are the meet over exactly this set; a method with no
+	// sites is only reachable from the host and gets no entry facts.
+	Sites [][]CallSite
+	// SCCs lists strongly connected components in bottom-up order:
+	// callees appear before their callers, so iterating SCCs in slice
+	// order sees every out-of-component callee summary finished.
+	SCCs [][]int
+}
+
+// BuildCallGraph scans every method's code and catch block.
+func BuildCallGraph(p *jvm.Program) *CallGraph {
+	n := len(p.Methods)
+	g := &CallGraph{
+		Callees: make([][]int, n),
+		Sites:   make([][]CallSite, n),
+	}
+	for mi, m := range p.Methods {
+		seen := make(map[int]bool)
+		scan := func(code []jvm.Instr, inCatch bool) {
+			for pc, in := range code {
+				if in.Op != jvm.OpInvoke {
+					continue
+				}
+				callee := int(in.A)
+				if callee < 0 || callee >= n {
+					continue
+				}
+				g.Sites[callee] = append(g.Sites[callee], CallSite{Caller: mi, PC: pc, InCatch: inCatch})
+				if !seen[callee] {
+					seen[callee] = true
+					g.Callees[mi] = append(g.Callees[mi], callee)
+				}
+			}
+		}
+		scan(m.Code, false)
+		if m.Secure != nil && m.Secure.Catch != nil {
+			scan(m.Secure.Catch, true)
+		}
+	}
+	g.SCCs = tarjan(n, g.Callees)
+	return g
+}
+
+// tarjan computes strongly connected components. With edges pointing
+// caller -> callee, Tarjan emits components in reverse topological order
+// of the condensation, which is exactly the bottom-up (callee-first)
+// order summary computation wants.
+func tarjan(n int, edges [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack []int
+		sccs  [][]int
+		next  int
+	)
+	var visit func(v int)
+	visit = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range edges[v] {
+			if index[w] == unvisited {
+				visit(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == unvisited {
+			visit(v)
+		}
+	}
+	return sccs
+}
+
+// InSameSCC reports whether a and b are mutually recursive (or a == b
+// with a self-loop component).
+func (g *CallGraph) InSameSCC(a, b int) bool {
+	for _, scc := range g.SCCs {
+		ina, inb := false, false
+		for _, m := range scc {
+			ina = ina || m == a
+			inb = inb || m == b
+		}
+		if ina {
+			return inb
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package analysis is a whole-program dataflow framework over MiniJVM
+// bytecode: a control-flow graph, a generic forward/backward worklist
+// solver, and a call graph with bottom-up SCC iteration. Three clients are
+// built on it:
+//
+//   - interprocedural barrier summaries (facts.go, summary.go), attached
+//     to a jvm.Program so compilation with CompileOptions.Interproc can
+//     eliminate barriers across call boundaries;
+//   - a static region-safety lint (lint.go) reporting §5.1 restriction
+//     violations at analysis time instead of as runtime denials;
+//   - a barrier-freedom prover (summary.go), which reuses the compiler's
+//     own elimination pass so a "no barriers needed" verdict cannot drift
+//     from what compilation actually does.
+//
+// The dependency is one-way: analysis imports jvm, never the reverse.
+// Results cross back into the compiler through jvm.InterprocResult.
+package analysis
+
+import "laminar/internal/jvm"
+
+// Block is a basic block: the half-open instruction range [Start, End)
+// plus its edges, as block indices.
+type Block struct {
+	Start, End int
+	Succs      []int
+	Preds      []int
+}
+
+// CFG is the control-flow graph of one code array.
+type CFG struct {
+	Code    []jvm.Instr
+	Blocks  []Block
+	blockOf []int // pc -> block index
+}
+
+// BuildCFG splits code into basic blocks and links edges. Leaders are pc
+// 0, branch targets, and the instruction after a branch or return.
+// Verified code has in-range targets; BuildCFG tolerates out-of-range
+// ones by dropping the edge (lint runs on not-yet-verified programs).
+func BuildCFG(code []jvm.Instr) *CFG {
+	leader := make([]bool, len(code)+1)
+	leader[0] = true
+	for pc, in := range code {
+		if in.Op.IsJump() {
+			if t := int(in.A); t >= 0 && t < len(code) {
+				leader[t] = true
+			}
+			leader[pc+1] = true
+		}
+		if in.Op == jvm.OpReturn || in.Op == jvm.OpReturnVal {
+			leader[pc+1] = true
+		}
+	}
+	g := &CFG{Code: code, blockOf: make([]int, len(code))}
+	start := 0
+	for pc := 1; pc <= len(code); pc++ {
+		if pc == len(code) || leader[pc] {
+			if start < pc {
+				for i := start; i < pc; i++ {
+					g.blockOf[i] = len(g.Blocks)
+				}
+				g.Blocks = append(g.Blocks, Block{Start: start, End: pc})
+			}
+			start = pc
+		}
+	}
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		last := code[b.End-1]
+		add := func(pc int) {
+			if pc < 0 || pc >= len(code) {
+				return
+			}
+			si := g.blockOf[pc]
+			b.Succs = append(b.Succs, si)
+			g.Blocks[si].Preds = append(g.Blocks[si].Preds, bi)
+		}
+		switch {
+		case last.Op == jvm.OpReturn || last.Op == jvm.OpReturnVal:
+		case last.Op == jvm.OpJmp:
+			add(int(last.A))
+		case last.Op == jvm.OpJmpIf || last.Op == jvm.OpJmpIfNot:
+			add(int(last.A))
+			add(b.End)
+		default:
+			add(b.End)
+		}
+	}
+	return g
+}
+
+// BlockOf maps a pc to its block index.
+func (g *CFG) BlockOf(pc int) int { return g.blockOf[pc] }
+
+// jumpTargets marks every pc some branch lands on; the backwards stack
+// tracer stops at them because values may arrive from another path.
+func jumpTargets(code []jvm.Instr) []bool {
+	t := make([]bool, len(code)+1)
+	for _, in := range code {
+		if in.Op.IsJump() && int(in.A) >= 0 && int(in.A) <= len(code) {
+			t[in.A] = true
+		}
+	}
+	return t
+}

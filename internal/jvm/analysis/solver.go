@@ -1,0 +1,82 @@
+package analysis
+
+// Direction selects the order facts flow through the CFG.
+type Direction int
+
+const (
+	Forward  Direction = iota // facts flow from entry toward returns
+	Backward                  // facts flow from returns toward entry
+)
+
+// State is one lattice element. The framework is agnostic about whether
+// Merge is a meet (intersection, for must-facts like "checked on every
+// path") or a join (union, for may-facts like "a return is reachable");
+// the client picks by choosing Top and Merge consistently.
+type State interface {
+	Clone() State
+	// Merge combines other into the receiver and reports whether the
+	// receiver changed.
+	Merge(other State) bool
+	Equal(other State) bool
+}
+
+// Problem is a dataflow problem instance over one CFG.
+type Problem interface {
+	Direction() Direction
+	// Boundary is the state at the entry block (Forward) or at every
+	// exit block (Backward).
+	Boundary() State
+	// Top is the optimistic initial state for all other blocks.
+	Top() State
+	// Transfer mutates s through block b, in direction order.
+	Transfer(b int, s State)
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the per-block
+// input states: the state at block entry for Forward problems, at block
+// exit for Backward ones. Blocks unreachable in the chosen direction keep
+// Top.
+func Solve(g *CFG, p Problem) []State {
+	n := len(g.Blocks)
+	in := make([]State, n)
+	for i := range in {
+		in[i] = p.Top()
+	}
+	backward := p.Direction() == Backward
+	if backward {
+		for i, b := range g.Blocks {
+			if len(b.Succs) == 0 {
+				in[i] = p.Boundary()
+			}
+		}
+	} else if n > 0 {
+		in[0] = p.Boundary()
+	}
+
+	// Worklist of block indices, seeded with every block so transfer
+	// functions run at least once everywhere.
+	work := make([]int, n)
+	queued := make([]bool, n)
+	for i := range work {
+		work[i] = i
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		queued[bi] = false
+		out := in[bi].Clone()
+		p.Transfer(bi, out)
+		next := g.Blocks[bi].Succs
+		if backward {
+			next = g.Blocks[bi].Preds
+		}
+		for _, si := range next {
+			if in[si].Merge(out) && !queued[si] {
+				work = append(work, si)
+				queued[si] = true
+			}
+		}
+	}
+	return in
+}

@@ -54,6 +54,15 @@ type CompileOptions struct {
 	Mode BarrierMode
 	// Optimize enables the redundant-barrier-elimination dataflow pass.
 	Optimize bool
+	// Interproc additionally consumes the whole-program summaries
+	// attached by internal/jvm/analysis (Program.SetInterproc): entry
+	// facts let callees skip re-checking arguments proven checked at
+	// every call site, callee summaries let callers skip re-checking
+	// objects the callee checked, and proven barrier-free methods skip
+	// insertion entirely. Implies Optimize; requires CloneBoth in static
+	// mode (host entries compile a separate conservative variant, which
+	// the single first-use slot cannot represent).
+	Interproc bool
 	// Inline splices small leaf methods into callers before barrier
 	// insertion, widening the optimizer's intraprocedural scope (§5.1).
 	Inline bool
@@ -65,7 +74,17 @@ type CompileOptions struct {
 	// barrier-context decision — "subsequent recompilation at higher
 	// optimization levels reuses this decision" (§5.1). 0 disables.
 	HotThreshold int
+	// PassOrder schedules the pre-insertion passes. Valid names are
+	// "inline", "peephole" and "opt"; nil means the default order
+	// (inline, peephole, opt). A pass only runs when its option is
+	// enabled. Any order is semantically equivalent — earlier "opt"
+	// placements just analyze less-transformed code and may keep more
+	// barriers (inlined bodies spliced after "opt" keep all of theirs).
+	PassOrder []string
 }
+
+// defaultPassOrder is the pipeline used when PassOrder is nil.
+var defaultPassOrder = []string{"inline", "peephole", "opt"}
 
 // compiledMethod is an executable method variant.
 type compiledMethod struct {
@@ -75,11 +94,33 @@ type compiledMethod struct {
 	maxStack int
 	nLocal   int
 	inRegion bool
+	host     bool // compiled for host entry (no call-site entry facts)
+
+	// Per-variant barrier accounting (body + catch): sites is the number
+	// of access/static barrier sites before elimination, elided how many
+	// the dataflow pass removed, emitted how many barrier instructions
+	// insertion produced (including allocation-labeling barriers, which
+	// are never elided).
+	sites   int
+	elided  int
+	emitted int
 
 	// Tiered-recompilation state: invocation count and whether this
 	// variant is already the optimized tier.
 	invocations int
 	optimized   bool
+}
+
+// variantName names the variant for reports.
+func (cm *compiledMethod) variantName() string {
+	ctx := "outside"
+	if cm.inRegion {
+		ctx = "inside"
+	}
+	if cm.host {
+		return "host-" + ctx
+	}
+	return ctx
 }
 
 // compileStats counts compiler work, feeding the compilation-time
@@ -115,14 +156,16 @@ func isWrite(op Op) bool { return op == OpPutField || op == OpAStore }
 
 // compile produces the executable variant of m for the given context.
 // Secure-method bodies are always "inside" — the compiler knows a region
-// method's context statically even in dynamic mode.
-func (p *Program) compile(m *Method, opts CompileOptions, inRegion bool, st *compileStats) *compiledMethod {
+// method's context statically even in dynamic mode. host marks variants
+// reached by Machine.Call, whose arguments never passed a barrier and so
+// must not assume interprocedural entry facts.
+func (p *Program) compile(m *Method, opts CompileOptions, inRegion, host bool, st *compileStats) *compiledMethod {
 	st.methodsCompiled++
 	st.instrsIn += len(m.Code)
-	cm := &compiledMethod{method: m, inRegion: inRegion, maxStack: m.maxStack, nLocal: m.NLocal}
+	cm := &compiledMethod{method: m, inRegion: inRegion, host: host, maxStack: m.maxStack, nLocal: m.NLocal}
 	src := m.Code
-	if opts.Inline {
-		src, cm.nLocal = p.inlineCalls(m, st)
+	if opts.Mode == BarrierNone && opts.Inline {
+		src, cm.nLocal, _ = p.inlineCalls(src, m.NLocal, st)
 		// maxStack is a capacity hint for the frame; inlined bodies stack
 		// on top of the caller's operands.
 		cm.maxStack = m.maxStack + 8
@@ -149,30 +192,111 @@ func (p *Program) compile(m *Method, opts CompileOptions, inRegion bool, st *com
 		st.instrsOut += len(cm.code) + len(cm.catch)
 		return cm
 	}
+	optimize := opts.Optimize || opts.Interproc
+	oc := optContext{p: p}
+	if opts.Interproc {
+		oc.ip = p.interproc
+	}
 	dynamic := opts.Mode == BarrierDynamic && m.Secure == nil
-	if opts.Optimize {
-		var folded int
-		src, folded = peephole(src)
-		st.instrsFolded += folded
+	barrierFree := oc.ip != nil && !opts.Inline &&
+		m.index < len(oc.ip.BarrierFree) && oc.ip.BarrierFree[m.index]
+
+	// Pre-insertion passes, in the scheduled order. The need mask is
+	// decided by "opt"; passes that transform code after it must keep the
+	// mask aligned (peephole is length-preserving, inlining remaps —
+	// spliced callee bodies keep all their barriers, since the analysis
+	// never saw them).
+	order := opts.PassOrder
+	if order == nil {
+		order = defaultPassOrder
 	}
-	need := allBarriers(src)
-	if opts.Optimize {
-		before := countBarriers(need)
-		need = eliminateRedundant(src, need)
-		st.barriersElided += before - countBarriers(need)
+	var need barrierNeed
+	haveNeed := false
+	for _, pass := range order {
+		switch pass {
+		case "inline":
+			if !opts.Inline {
+				continue
+			}
+			var newPos []int32
+			prev := src
+			src, cm.nLocal, newPos = p.inlineCalls(src, cm.nLocal, st)
+			// maxStack is a capacity hint for the frame; inlined bodies
+			// stack on top of the caller's operands.
+			cm.maxStack = m.maxStack + 8
+			if haveNeed && newPos != nil {
+				remapped := allBarriers(src)
+				for pc := range prev {
+					if prev[pc].Op == OpInvoke {
+						continue // expanded sites carry no barrier
+					}
+					np := newPos[pc]
+					remapped.access[np] = need.access[pc]
+					remapped.static[np] = need.static[pc]
+					remapped.alloc[np] = need.alloc[pc]
+				}
+				need = remapped
+			}
+		case "peephole":
+			if !optimize {
+				continue
+			}
+			var folded int
+			src, folded = peephole(src)
+			st.instrsFolded += folded
+		case "opt":
+			if !optimize || barrierFree {
+				continue
+			}
+			var entry []uint8
+			if oc.ip != nil && !host && m.Secure == nil && m.index < len(oc.ip.EntryChecked) {
+				entry = oc.ip.EntryChecked[m.index]
+			}
+			need = eliminateRedundant(oc, src, allBarriers(src), entry)
+			haveNeed = true
+		default:
+			panic(fmt.Sprintf("jvm: unknown compiler pass %q", pass))
+		}
 	}
+	cm.sites = countBarriers(allBarriers(src))
+	if !haveNeed {
+		need = allBarriers(src)
+		if barrierFree {
+			// Proven barrier-free: no access/static check can ever be
+			// needed, so skip the dataflow pass and insert only allocation
+			// labeling. The proof covers m.Code only, so inlined bodies
+			// (which splice in callee barrier sites the proof never saw)
+			// take the dataflow path instead.
+			for i := range need.access {
+				need.access[i] = false
+			}
+			for i := range need.static {
+				need.static[i] = false
+			}
+		}
+	}
+	cm.elided = cm.sites - countBarriers(need)
+	st.barriersElided += cm.elided
+	emitted0 := st.barriersEmitted
 	cm.code = p.insertBarriers(src, need, inRegion, dynamic, st)
 	if dynamic || opts.Mode == BarrierDynamic {
 		cm.maxStack++ // OpInRegion pushes a temporary
 	}
 	if m.Secure != nil && m.Secure.Catch != nil {
-		// Catch blocks run with the region's labels in force.
+		// Catch blocks run with the region's labels in force. Entry facts
+		// never apply: control may arrive from any raise point.
 		catchNeed := allBarriers(m.Secure.Catch)
-		if opts.Optimize {
-			catchNeed = eliminateRedundant(m.Secure.Catch, catchNeed)
+		cm.sites += countBarriers(catchNeed)
+		if optimize {
+			before := countBarriers(catchNeed)
+			catchNeed = eliminateRedundant(oc, m.Secure.Catch, catchNeed, nil)
+			d := before - countBarriers(catchNeed)
+			cm.elided += d
+			st.barriersElided += d
 		}
 		cm.catch = p.insertBarriers(m.Secure.Catch, catchNeed, true, false, st)
 	}
+	cm.emitted = st.barriersEmitted - emitted0
 	if err := p.validateCompiled(m, cm.code); err != nil {
 		panic(err) // compiler bug, not a program error
 	}
@@ -229,7 +353,7 @@ func allBarriers(code []Instr) barrierNeed {
 
 // insertLen returns how many instructions the barrier sequence for a
 // source instruction occupies, excluding the instruction itself.
-func insertLen(in Instr, need barrierNeed, pc int, dynamic bool) int {
+func insertLen(in Instr, need barrierNeed, pc int, dynamic, inRegion bool) int {
 	switch {
 	case accessDepth(in.Op) >= 0 && need.access[pc]:
 		if dynamic {
@@ -244,7 +368,11 @@ func insertLen(in Instr, need barrierNeed, pc int, dynamic bool) int {
 			// inregion, jmpifnot(skip), barrier.static
 			return 3
 		}
-		return 1
+		if inRegion {
+			return 1
+		}
+		// Outside regions statics are unrestricted: no barrier.
+		return 0
 	default:
 		return 0
 	}
@@ -356,12 +484,16 @@ func (p *Program) validateCompiled(m *Method, code []Instr) error {
 // targets — the address-relocation pass every barrier-inserting compiler
 // needs.
 func (p *Program) insertBarriers(code []Instr, need barrierNeed, inRegion, dynamic bool, st *compileStats) []Instr {
-	// Pass 1: compute the new position of every source instruction.
+	// Pass 1: compute the new position of every source instruction's
+	// emission group. Branch targets remap to the group START (the barrier
+	// prefix, not the instruction) so a jump edge cannot skip a check that
+	// the fall-through edge would run.
 	newPos := make([]int32, len(code)+1)
 	pos := int32(0)
 	for pc, in := range code {
-		newPos[pc] = pos + int32(insertLen(in, need, pc, dynamic))
-		pos = newPos[pc] + 1 + int32(allocSuffixLen(in, need, pc, dynamic, inRegion))
+		newPos[pc] = pos
+		pos += int32(insertLen(in, need, pc, dynamic, inRegion)) + 1 +
+			int32(allocSuffixLen(in, need, pc, dynamic, inRegion))
 	}
 	newPos[len(code)] = pos
 
@@ -441,18 +573,55 @@ func (p *Program) insertBarriers(code []Instr, need barrierNeed, inRegion, dynam
 	return out
 }
 
+// interprocCheck validates an interprocedural compilation request.
+func (p *Program) interprocCheck(opts CompileOptions) error {
+	if !opts.Interproc {
+		return nil
+	}
+	if p.interproc == nil {
+		return fmt.Errorf("jvm: CompileOptions.Interproc set but no analysis attached (run analysis.Attach first)")
+	}
+	if opts.Mode == BarrierStatic && opts.Clone == FirstUse {
+		return fmt.Errorf("jvm: interprocedural optimization requires CloneBoth (first-use mode cannot hold separate host-entry variants)")
+	}
+	return nil
+}
+
+// entryFactsDiffer reports whether interprocedural entry facts would make
+// the invoke-reached variant of m differ from the host-entry variant.
+func (p *Program) entryFactsDiffer(m *Method, opts CompileOptions) bool {
+	if !opts.Interproc || p.interproc == nil || m.Secure != nil {
+		return false
+	}
+	if m.index >= len(p.interproc.EntryChecked) {
+		return false
+	}
+	for _, bits := range p.interproc.EntryChecked[m.index] {
+		if bits != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // variantFor returns (compiling on demand) the executable variant of m for
 // the given context, honoring the clone mode. It is called by the
 // interpreter at invoke time, mirroring JIT-on-first-execution. With
 // HotThreshold set, hot variants are recompiled at the optimizing tier
-// while keeping their original barrier-context decision.
-func (p *Program) variantFor(m *Method, opts CompileOptions, inRegion bool, st *compileStats) (*compiledMethod, error) {
+// while keeping their original barrier-context decision. host marks calls
+// entering through Machine.Call: when interprocedural entry facts apply to
+// m, those calls get a separate conservative variant, because host
+// arguments never passed a barrier at any call site.
+func (p *Program) variantFor(m *Method, opts CompileOptions, inRegion, host bool, st *compileStats) (*compiledMethod, error) {
+	if err := p.interprocCheck(opts); err != nil {
+		return nil, err
+	}
 	if m.Secure != nil {
 		inRegion = true // region bodies are always inside
 	}
 	if opts.Mode == BarrierStatic && opts.Clone == FirstUse && m.Secure == nil {
 		if m.firstUse == nil {
-			m.firstUse = p.compile(m, opts, inRegion, st)
+			m.firstUse = p.compile(m, opts, inRegion, host, st)
 		} else if m.firstUse.inRegion != inRegion {
 			return nil, fmt.Errorf("jvm: method %s compiled for inRegion=%v but invoked with inRegion=%v (first-execution-context prototype limitation, §5.1)", m.Name, m.firstUse.inRegion, inRegion)
 		}
@@ -465,10 +634,15 @@ func (p *Program) variantFor(m *Method, opts CompileOptions, inRegion bool, st *
 	if opts.Mode == BarrierDynamic && m.Secure == nil {
 		idx = 0 // single dynamic variant
 	}
-	if m.variants[idx] == nil {
-		m.variants[idx] = p.compile(m, opts, inRegion, st)
+	slots := &m.variants
+	useHost := host && p.entryFactsDiffer(m, opts)
+	if useHost {
+		slots = &m.hostVariants
 	}
-	return p.maybeRecompileHot(m, &m.variants[idx], opts, st), nil
+	if slots[idx] == nil {
+		slots[idx] = p.compile(m, opts, inRegion, useHost, st)
+	}
+	return p.maybeRecompileHot(m, &slots[idx], opts, st), nil
 }
 
 // maybeRecompileHot bumps the variant's invocation count and, past the
@@ -486,7 +660,7 @@ func (p *Program) maybeRecompileHot(m *Method, slot **compiledMethod, opts Compi
 	hot := opts
 	hot.Optimize = true
 	hot.Inline = true
-	ncm := p.compile(m, hot, cm.inRegion, st)
+	ncm := p.compile(m, hot, cm.inRegion, cm.host, st)
 	ncm.optimized = true
 	*slot = ncm
 	return ncm
@@ -497,29 +671,35 @@ func (p *Program) maybeRecompileHot(m *Method, slot **compiledMethod, opts Compi
 func (p *Program) ResetCompilation() {
 	for _, m := range p.Methods {
 		m.variants = [2]*compiledMethod{}
+		m.hostVariants = [2]*compiledMethod{}
 		m.firstUse = nil
 	}
 }
 
 // CompileAll eagerly compiles every method (both variants for dual-context
 // static mode) and returns compiler work statistics — the §6.1
-// compilation-time experiment.
+// compilation-time experiment. Variants are compiled as invoke-reached;
+// host-entry variants (interprocedural mode) compile lazily on first
+// Machine.Call.
 func (p *Program) CompileAll(opts CompileOptions) (CompileReport, error) {
 	if err := p.Verify(); err != nil {
+		return CompileReport{}, err
+	}
+	if err := p.interprocCheck(opts); err != nil {
 		return CompileReport{}, err
 	}
 	st := &compileStats{}
 	for _, m := range p.Methods {
 		if m.Secure != nil || opts.Mode != BarrierStatic || opts.Clone == FirstUse {
-			if _, err := p.variantFor(m, opts, false, st); err != nil {
+			if _, err := p.variantFor(m, opts, false, false, st); err != nil {
 				return CompileReport{}, err
 			}
 			continue
 		}
-		if _, err := p.variantFor(m, opts, false, st); err != nil {
+		if _, err := p.variantFor(m, opts, false, false, st); err != nil {
 			return CompileReport{}, err
 		}
-		if _, err := p.variantFor(m, opts, true, st); err != nil {
+		if _, err := p.variantFor(m, opts, true, false, st); err != nil {
 			return CompileReport{}, err
 		}
 	}
@@ -541,4 +721,43 @@ type CompileReport struct {
 	BarriersEmitted int
 	BarriersElided  int
 	InlinedCalls    int
+}
+
+// MethodBarrierStats is one compiled variant's barrier accounting, for
+// per-method optimization reports (laminar-asm run -stats / dis
+// -compiled).
+type MethodBarrierStats struct {
+	Method      string
+	Variant     string // outside, inside, host-outside, host-inside, first-use
+	Sites       int    // access+static barrier sites before elimination
+	Elided      int    // sites removed by the dataflow pass
+	Emitted     int    // barrier instructions inserted (incl. allocation labeling)
+	BarrierFree bool   // proven barrier-free by the whole-program analysis
+}
+
+// BarrierStats reports per-method barrier counts for every variant
+// compiled so far, in method-table order.
+func (p *Program) BarrierStats() []MethodBarrierStats {
+	var out []MethodBarrierStats
+	add := func(m *Method, cm *compiledMethod, variant string) {
+		if cm == nil {
+			return
+		}
+		free := p.interproc != nil && m.index < len(p.interproc.BarrierFree) && p.interproc.BarrierFree[m.index]
+		out = append(out, MethodBarrierStats{
+			Method: m.Name, Variant: variant,
+			Sites: cm.sites, Elided: cm.elided, Emitted: cm.emitted,
+			BarrierFree: free,
+		})
+	}
+	for _, m := range p.Methods {
+		add(m, m.variants[0], "outside")
+		add(m, m.variants[1], "inside")
+		add(m, m.hostVariants[0], "host-outside")
+		add(m, m.hostVariants[1], "host-inside")
+		if m.firstUse != nil {
+			add(m, m.firstUse, "first-use")
+		}
+	}
+	return out
 }

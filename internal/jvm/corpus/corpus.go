@@ -1,0 +1,55 @@
+// Package corpus embeds the golden MiniJVM program corpus shared by the
+// differential oracle tests, the barrier-reduction benchmark
+// (laminar-bench -barriers), and the laminar-vet CI gate.
+//
+// progs/ holds positive programs: they verify, run deterministically
+// under every compiler configuration, are lint-clean, and are
+// call-heavy on purpose so interprocedural barrier elimination has
+// something to prove. negative/ holds region-restriction violations:
+// each is flagged by the static lint, and the runnable ones trigger the
+// corresponding runtime denial so tests can tie the static finding to
+// the dynamic behavior it predicts.
+package corpus
+
+import (
+	"embed"
+	"io/fs"
+	"path"
+	"sort"
+)
+
+//go:embed progs/*.mjvm negative/*.mjvm
+var files embed.FS
+
+func read(dir string) map[string]string {
+	out := make(map[string]string)
+	entries, err := fs.ReadDir(files, dir)
+	if err != nil {
+		panic(err) // embedded FS: unreachable unless the build is broken
+	}
+	for _, e := range entries {
+		data, err := fs.ReadFile(files, path.Join(dir, e.Name()))
+		if err != nil {
+			panic(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// Programs returns the positive corpus, keyed by file name.
+func Programs() map[string]string { return read("progs") }
+
+// Negative returns the region-violation corpus, keyed by file name.
+func Negative() map[string]string { return read("negative") }
+
+// Names returns sorted keys, for deterministic iteration in tests and
+// benchmarks.
+func Names(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

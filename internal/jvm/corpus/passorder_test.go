@@ -1,0 +1,102 @@
+package corpus_test
+
+// Pass-ordering differential test: the compiler's pre-insertion passes
+// (inline, peephole, opt) may be scheduled in any order without changing
+// observable semantics. Orders differ in how much they optimize — an
+// "opt" placed before "inline" never sees the spliced callee bodies and
+// keeps all their barriers — but every order must produce the same
+// return value, statics, security trace, and denial behavior, and no
+// order may check more often than the unoptimized baseline.
+
+import (
+	"math/rand"
+	"testing"
+
+	"laminar/internal/jvm"
+	"laminar/internal/jvm/corpus"
+)
+
+// passOrders is every permutation of the three pre-insertion passes.
+func passOrders() [][]string {
+	return [][]string{
+		{"inline", "peephole", "opt"}, // default
+		{"inline", "opt", "peephole"},
+		{"peephole", "inline", "opt"},
+		{"peephole", "opt", "inline"},
+		{"opt", "inline", "peephole"},
+		{"opt", "peephole", "inline"},
+	}
+}
+
+func TestPassOrderDifferential(t *testing.T) {
+	optionSets := []config{
+		{"static-opt-inline", jvm.CompileOptions{Mode: jvm.BarrierStatic, Optimize: true, Inline: true}},
+		{"static-interproc-inline", jvm.CompileOptions{Mode: jvm.BarrierStatic, Interproc: true, Inline: true}},
+		{"dynamic-opt-inline", jvm.CompileOptions{Mode: jvm.BarrierDynamic, Optimize: true, Inline: true}},
+	}
+	all := corpus.Programs()
+	for _, name := range corpus.Names(all) {
+		src := all[name]
+		if !hasMain(src) {
+			continue
+		}
+		baseline := run(t, src, config{"static", jvm.CompileOptions{Mode: jvm.BarrierStatic}})
+		for _, set := range optionSets {
+			var want outcome
+			for i, order := range passOrders() {
+				opts := set.opts
+				opts.PassOrder = order
+				got := run(t, src, config{set.name, opts})
+				if got.verifyErr != "" {
+					t.Errorf("%s/%s/%v: verify: %v", name, set.name, order, got.verifyErr)
+					continue
+				}
+				if got.checks > baseline.checks {
+					t.Errorf("%s/%s/%v: checks exceed unoptimized baseline: %d > %d",
+						name, set.name, order, got.checks, baseline.checks)
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got.callErr != want.callErr || got.ret != want.ret ||
+					got.statics != want.statics || got.trace != want.trace ||
+					got.violations != want.violations || got.regions != want.regions {
+					t.Errorf("%s/%s: order %v diverges from default order:\n got %+v\nwant %+v",
+						name, set.name, order, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPassOrderRandomized extends the permutation check to generated
+// programs, which exercise region denial paths the curated corpus keeps
+// clean.
+func TestPassOrderRandomized(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	orders := passOrders()
+	for i := 0; i < n; i++ {
+		src := genProgram(rand.New(rand.NewSource(int64(i))))
+		var want outcome
+		for j, order := range orders {
+			got := run(t, src, config{"randorder", jvm.CompileOptions{
+				Mode: jvm.BarrierStatic, Optimize: true, Inline: true, PassOrder: order,
+			}})
+			if j == 0 {
+				want = got
+				continue
+			}
+			if got.callErr != want.callErr || got.ret != want.ret ||
+				got.statics != want.statics || got.trace != want.trace ||
+				got.violations != want.violations {
+				t.Errorf("seed %d: order %v diverges:\n got %+v\nwant %+v\nsource:\n%s",
+					i, order, got, want, src)
+				return
+			}
+		}
+	}
+}

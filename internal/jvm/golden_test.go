@@ -38,7 +38,7 @@ func compileCanon(t *testing.T, opts CompileOptions, inRegion bool) string {
 		t.Fatal(err)
 	}
 	st := &compileStats{}
-	cm := p.compile(m, opts, inRegion, st)
+	cm := p.compile(m, opts, inRegion, false, st)
 	return Disassemble(cm.code)
 }
 
@@ -136,7 +136,7 @@ end
 	}
 	m, _ := p.Lookup("canon2")
 	st := &compileStats{}
-	cm := p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, st)
+	cm := p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, false, st)
 	got := Disassemble(cm.code)
 	if strings.Count(got, "barrier.r") != 1 {
 		t.Errorf("want exactly one read barrier after optimization:\n%s", got)

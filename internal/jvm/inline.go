@@ -28,12 +28,13 @@ func inlinable(callee *Method) bool {
 	return true
 }
 
-// inlineCalls returns m's code with every inlinable call site expanded,
-// plus the new local-slot count (each site gets a fresh frame of callee
-// locals appended to the caller's). Jump targets are remapped across the
-// expansion, and the callee's returns become jumps past the splice.
-func (p *Program) inlineCalls(m *Method, st *compileStats) ([]Instr, int) {
-	code := m.Code
+// inlineCalls returns code with every inlinable call site expanded, plus
+// the new local-slot count (each site gets a fresh frame of callee locals
+// appended to the caller's) and the old-pc → new-pc map (nil when nothing
+// was expanded, so callers can remap per-pc side tables). Jump targets
+// are remapped across the expansion, and the callee's returns become
+// jumps past the splice.
+func (p *Program) inlineCalls(code []Instr, nLocal int, st *compileStats) ([]Instr, int, []int32) {
 	// Pass 1: site lengths and new positions.
 	siteLen := func(in Instr) int {
 		if in.Op != OpInvoke {
@@ -60,12 +61,11 @@ func (p *Program) inlineCalls(m *Method, st *compileStats) ([]Instr, int) {
 	}
 	newPos[len(code)] = pos
 	if !expanded {
-		return code, m.NLocal
+		return code, nLocal, nil
 	}
 
 	// Pass 2: emit with remapping.
 	out := make([]Instr, 0, pos)
-	nLocal := m.NLocal
 	for _, in := range code {
 		if in.Op.isJump() {
 			out = append(out, Instr{Op: in.Op, A: newPos[in.A]})
@@ -101,5 +101,5 @@ func (p *Program) inlineCalls(m *Method, st *compileStats) ([]Instr, int) {
 		}
 		out = append(out, in)
 	}
-	return out, nLocal
+	return out, nLocal, newPos
 }

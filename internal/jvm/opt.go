@@ -21,11 +21,19 @@ package jvm
 // (§4.4), so a check that succeeded once holds for the rest of the region.
 // Calls do not invalidate facts — a nested region entered by a callee is
 // popped again before control returns.
-
-const (
-	factRead  = 1 << iota // slot's object has passed a read check
-	factWrite             // slot's object has passed a write check
-)
+//
+// When an InterprocResult is supplied (CompileOptions.Interproc), the same
+// pass additionally consumes whole-program summaries from
+// internal/jvm/analysis:
+//
+//   - entry facts seed parameter slots with checks proven at every call
+//     site, so callees skip re-checking arguments;
+//   - an invoke transfers the callee's Ensures facts onto the argument's
+//     source slots, so callers skip re-checking objects a callee checked;
+//   - a value stored from an invoke inherits the callee's Return facts
+//     (factory methods returning fresh allocations);
+//   - backwards stack tracing walks through calls, since a call never
+//     touches stack values below its arguments.
 
 // localFacts maps a local slot to its fact bits. Slots absent from the map
 // hold unknown objects.
@@ -66,24 +74,57 @@ func (f *localFacts) meet(other localFacts) bool {
 	return changed
 }
 
+// optContext bundles what the elimination pass knows beyond the method's
+// own code: the program (for callee arity when tracing through calls) and
+// the attached interprocedural summaries. A nil ip degrades to the purely
+// intraprocedural §5.1 pass.
+type optContext struct {
+	p  *Program
+	ip *InterprocResult
+	// note, when non-nil, receives a human-readable reason each time the
+	// final pass proves a barrier site redundant (laminar-vet explain).
+	note func(pc int, reason string)
+}
+
+func (oc optContext) explain(pc int, reason string) {
+	if oc.note != nil {
+		oc.note(pc, reason)
+	}
+}
+
 // stackSource walks backwards from pc to find the instruction that
 // produced the stack value at the given depth (0 = value on top just
 // before code[pc] executes). It stays within the basic block — the walk
-// stops at branches, calls and join targets (jumpTarget marks them) — and
-// returns the producing pc, or -1 when unknown.
-func stackSource(code []Instr, jumpTarget []bool, pc, depth int) int {
+// stops at branches, returns and join targets (jumpTarget marks them) —
+// and returns the producing pc, or -1 when unknown. With interprocedural
+// summaries available the walk continues through OpInvoke for values below
+// the call's arguments (a call cannot touch them), and reports the invoke
+// itself as the producer of its return value.
+func (oc optContext) stackSource(code []Instr, jumpTarget []bool, pc, depth int) int {
 	want := depth
 	for i := pc - 1; i >= 0; i-- {
 		in := code[i]
-		if in.Op.isJump() || in.Op == OpReturn || in.Op == OpReturnVal || in.Op == OpInvoke {
-			return -1 // values across calls/branches are not traced
+		if in.Op.isJump() || in.Op == OpReturn || in.Op == OpReturnVal {
+			return -1
 		}
 		if jumpTarget[i+1] {
 			// Something jumps to i+1; the values below may come from
 			// elsewhere on another path.
 			return -1
 		}
-		pops, pushes := stackEffect(in.Op)
+		var pops, pushes int
+		if in.Op == OpInvoke {
+			if oc.ip == nil {
+				return -1 // values across calls are not traced intraprocedurally
+			}
+			callee := oc.p.Methods[in.A]
+			pops = callee.NArgs
+			if callee.returnsValue() {
+				pushes = 1
+			}
+		} else {
+			pops, pushes = stackEffect(in.Op)
+		}
 		if pushes > want {
 			return i
 		}
@@ -104,11 +145,15 @@ func jumpTargets(code []Instr) []bool {
 }
 
 // eliminateRedundant computes which barriers must stay. need starts as the
-// all-barriers set from allBarriers.
-func eliminateRedundant(code []Instr, need barrierNeed) barrierNeed {
+// all-barriers set from allBarriers. entry seeds fact bits for the leading
+// local slots (parameters) at method entry; nil means no entry facts.
+func eliminateRedundant(oc optContext, code []Instr, need barrierNeed, entry []uint8) barrierNeed {
 	blocks, blockOf := buildBlocks(code)
 	jt := jumpTargets(code)
 	nLocal := maxLocalSlot(code) + 1
+	if len(entry) > nLocal {
+		nLocal = len(entry)
+	}
 
 	in := make([]localFacts, len(blocks))
 	out := make([]localFacts, len(blocks))
@@ -116,11 +161,13 @@ func eliminateRedundant(code []Instr, need barrierNeed) barrierNeed {
 		in[i] = newFacts(nLocal)
 		out[i] = newFacts(nLocal)
 	}
-	// Entry block starts with no facts; all others optimistically start
-	// "all facts" so the intersection fixpoint converges from above.
+	// Entry block starts with only the caller-proven facts; all others
+	// optimistically start "all facts" so the intersection fixpoint
+	// converges from above.
+	copy(in[0].bits, entry)
 	for i := 1; i < len(blocks); i++ {
 		for s := range in[i].bits {
-			in[i].bits[s] = factRead | factWrite
+			in[i].bits[s] = FactAll
 		}
 		in[i].staticR, in[i].staticW = true, true
 	}
@@ -130,7 +177,7 @@ func eliminateRedundant(code []Instr, need barrierNeed) barrierNeed {
 		changed = false
 		for bi, b := range blocks {
 			f := in[bi].clone()
-			transferBlock(code, jt, b, &f, nil)
+			transferBlock(oc, code, jt, b, &f, nil)
 			if !factsEqual(out[bi], f) {
 				out[bi] = f
 				changed = true
@@ -147,7 +194,7 @@ func eliminateRedundant(code []Instr, need barrierNeed) barrierNeed {
 	// Final pass: with stable entry facts, mark redundant barriers.
 	for bi, b := range blocks {
 		f := in[bi].clone()
-		transferBlock(code, jt, b, &f, &need)
+		transferBlock(oc, code, jt, b, &f, &need)
 	}
 	return need
 }
@@ -201,23 +248,45 @@ func successors(code []Instr, b block) []int {
 	}
 }
 
+// calleeEnsures returns the interprocedural summary facts for a callee's
+// parameter, or 0 without summaries.
+func (oc optContext) calleeEnsures(calleeIdx int, param int) uint8 {
+	if oc.ip == nil || calleeIdx >= len(oc.ip.Ensures) {
+		return 0
+	}
+	e := oc.ip.Ensures[calleeIdx]
+	if param >= len(e) {
+		return 0
+	}
+	return e[param]
+}
+
+// calleeReturn returns the fact bits of a callee's return value, or 0.
+func (oc optContext) calleeReturn(calleeIdx int) uint8 {
+	if oc.ip == nil || calleeIdx >= len(oc.ip.Return) {
+		return 0
+	}
+	return oc.ip.Return[calleeIdx]
+}
+
 // transferBlock runs the transfer function over a block. When need is
 // non-nil, barriers proven redundant are cleared in it.
-func transferBlock(code []Instr, jt []bool, b block, f *localFacts, need *barrierNeed) {
+func transferBlock(oc optContext, code []Instr, jt []bool, b block, f *localFacts, need *barrierNeed) {
 	for pc := b.start; pc < b.end; pc++ {
 		in := code[pc]
 		switch {
 		case accessDepth(in.Op) >= 0:
-			src := stackSource(code, jt, pc, accessDepth(in.Op))
-			bit := uint8(factRead)
+			src := oc.stackSource(code, jt, pc, accessDepth(in.Op))
+			bit := FactRead
 			if isWrite(in.Op) {
-				bit = factWrite
+				bit = FactWrite
 			}
 			switch {
 			case src >= 0 && (code[src].Op == OpNew || code[src].Op == OpNewArray):
 				// Freshly allocated on this path: always redundant.
 				if need != nil {
 					need.access[pc] = false
+					oc.explain(pc, "object freshly allocated in this method; a fresh object carries the context's own labels")
 				}
 			case src >= 0 && code[src].Op == OpLoad:
 				slot := int(code[src].A)
@@ -225,9 +294,16 @@ func transferBlock(code []Instr, jt []bool, b block, f *localFacts, need *barrie
 					if f.bits[slot]&bit != 0 {
 						if need != nil {
 							need.access[pc] = false
+							oc.explain(pc, "object in local slot passed the same check on every incoming path")
 						}
 					}
 					f.bits[slot] |= bit
+				}
+			case src >= 0 && code[src].Op == OpInvoke:
+				// The accessed object is a callee's return value.
+				if oc.calleeReturn(int(code[src].A))&bit != 0 && need != nil {
+					need.access[pc] = false
+					oc.explain(pc, "callee's Return summary proves its result checked or freshly allocated")
 				}
 			case src >= 0 && code[src].Op == OpDup:
 				// Conservatively keep the barrier; no fact update.
@@ -235,23 +311,55 @@ func transferBlock(code []Instr, jt []bool, b block, f *localFacts, need *barrie
 		case in.Op == OpGetStatic:
 			if f.staticR && need != nil {
 				need.static[pc] = false
+				oc.explain(pc, "a checked static read already ran on every incoming path")
 			}
 			f.staticR = true
 		case in.Op == OpPutStatic:
 			if f.staticW && need != nil {
 				need.static[pc] = false
+				oc.explain(pc, "a checked static write already ran on every incoming path")
 			}
 			f.staticW = true
+		case in.Op == OpInvoke && oc.ip != nil:
+			// Callee summaries: the callee checked these arguments on
+			// every path, so the source slots gain the facts for the rest
+			// of this activation (the callee ran in this activation's
+			// context — secure callees publish empty summaries).
+			callee := oc.p.Methods[in.A]
+			if idx := int(in.A); idx < len(oc.ip.EnsuresStatic) {
+				if bits := oc.ip.EnsuresStatic[idx]; bits != 0 {
+					// The callee ran checked static accesses in this same
+					// region on every path, so our later ones are covered.
+					f.staticR = f.staticR || bits&FactRead != 0
+					f.staticW = f.staticW || bits&FactWrite != 0
+				}
+			}
+			for k := 0; k < callee.NArgs; k++ {
+				bits := oc.calleeEnsures(int(in.A), k)
+				if bits == 0 {
+					continue
+				}
+				// Argument k sits at depth NArgs-1-k (last argument on
+				// top) just before the invoke executes.
+				src := oc.stackSource(code, jt, pc, callee.NArgs-1-k)
+				if src >= 0 && code[src].Op == OpLoad {
+					if slot := int(code[src].A); slot < len(f.bits) {
+						f.bits[slot] |= bits
+					}
+				}
+			}
 		case in.Op == OpStore:
 			slot := int(in.A)
 			if slot < len(f.bits) {
 				// What is being stored? A fresh allocation transfers
 				// full facts; anything else clears them.
-				src := stackSource(code, jt, pc, 0)
+				src := oc.stackSource(code, jt, pc, 0)
 				if src >= 0 && (code[src].Op == OpNew || code[src].Op == OpNewArray) {
-					f.bits[slot] = factRead | factWrite
+					f.bits[slot] = FactAll
 				} else if src >= 0 && code[src].Op == OpLoad && int(code[src].A) < len(f.bits) {
 					f.bits[slot] = f.bits[int(code[src].A)]
+				} else if src >= 0 && code[src].Op == OpInvoke {
+					f.bits[slot] = oc.calleeReturn(int(code[src].A))
 				} else {
 					f.bits[slot] = 0
 				}

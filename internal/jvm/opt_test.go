@@ -17,7 +17,7 @@ func compileFor(t *testing.T, code []Instr, optimize bool) (int, int) {
 		t.Fatal(err)
 	}
 	st := &compileStats{}
-	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: optimize}, true, st)
+	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: optimize}, true, false, st)
 	return st.barriersEmitted, st.barriersElided
 }
 
@@ -110,7 +110,7 @@ func TestElimJoinPathsMustAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := &compileStats{}
-	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, st)
+	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, false, st)
 	if st.barriersElided != 0 {
 		t.Errorf("elided=%d across unbalanced join, want 0", st.barriersElided)
 	}
@@ -134,7 +134,7 @@ func TestElimBothPathsChecked(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := &compileStats{}
-	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, st)
+	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, false, st)
 	if st.barriersElided != 1 {
 		t.Errorf("elided=%d, want 1 (the post-join read)", st.barriersElided)
 	}
@@ -158,7 +158,7 @@ func TestElimLoopHeaderConservative(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := &compileStats{}
-	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, st)
+	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, false, st)
 	if st.barriersElided != 0 {
 		t.Errorf("elided=%d in unchecked loop, want 0", st.barriersElided)
 	}
@@ -180,7 +180,7 @@ func TestElimLoopHeaderConservative(t *testing.T) {
 		t.Fatal(err)
 	}
 	st2 := &compileStats{}
-	p2.compile(m2, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, st2)
+	p2.compile(m2, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, false, st2)
 	if st2.barriersElided != 1 {
 		t.Errorf("elided=%d with hoisted check, want 1", st2.barriersElided)
 	}
@@ -205,7 +205,7 @@ func TestElimStaticChecks(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := &compileStats{}
-	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, st)
+	p.compile(m, CompileOptions{Mode: BarrierStatic, Optimize: true}, true, false, st)
 	// One read check + one write check stay; one of each elided.
 	if st.barriersEmitted != 2 || st.barriersElided != 2 {
 		t.Errorf("emitted=%d elided=%d, want 2/2", st.barriersEmitted, st.barriersElided)

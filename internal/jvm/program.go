@@ -80,10 +80,11 @@ type Method struct {
 	Secure *SecureInfo
 
 	// compiled variants, filled by the compiler.
-	variants [2]*compiledMethod // [outside, inside]
-	firstUse *compiledMethod    // prototype first-execution-context mode
-	index    int
-	maxStack int // computed by Verify
+	variants     [2]*compiledMethod // [outside, inside]
+	hostVariants [2]*compiledMethod // interproc: conservative host-entry variants
+	firstUse     *compiledMethod    // prototype first-execution-context mode
+	index        int
+	maxStack     int // computed by Verify
 }
 
 // Index returns the method's slot in the program table.
@@ -96,6 +97,14 @@ type Program struct {
 
 	byName   map[string]*Method
 	verified bool
+	// verifiedFP fingerprints the method table at Verify time. Verify is
+	// memoized; mutating a verified program's methods in place breaks the
+	// memoization contract and is detected by re-fingerprinting (the
+	// fingerprint is a single linear scan, far cheaper than abstract
+	// interpretation).
+	verifiedFP uint64
+	// interproc holds whole-program analysis results (SetInterproc).
+	interproc *InterprocResult
 }
 
 // NewProgram creates an empty program with n static slots.
@@ -110,6 +119,45 @@ func (p *Program) Add(m *Method) *Method {
 	p.byName[m.Name] = m
 	p.verified = false
 	return m
+}
+
+// fingerprint hashes the structural content of the program's methods
+// (FNV-1a over names, arities, code and catch code). It detects in-place
+// mutation of a verified program; see Verify.
+func (p *Program) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mixCode := func(code []Instr) {
+		mix(uint64(len(code)))
+		for _, in := range code {
+			mix(uint64(in.Op))
+			mix(uint64(uint32(in.A)))
+		}
+	}
+	mix(uint64(p.NStatics))
+	mix(uint64(len(p.Methods)))
+	for _, m := range p.Methods {
+		for _, c := range m.Name {
+			mix(uint64(c))
+		}
+		mix(uint64(m.NArgs))
+		mix(uint64(m.NLocal))
+		mixCode(m.Code)
+		if m.Secure != nil {
+			mix(1)
+			mixCode(m.Secure.Catch)
+		} else {
+			mix(0)
+		}
+	}
+	return h
 }
 
 // Lookup finds a method by name.

@@ -1,0 +1,87 @@
+package jvm
+
+import (
+	"fmt"
+	"strings"
+
+	"laminar/internal/difc"
+)
+
+// Source renders the program back into the text-assembly format that
+// Parse accepts, with synthesized labels at branch targets and invokes by
+// callee name. Parse(p.Source()) yields a structurally identical program,
+// so the renderer doubles as the parser's round-trip oracle (FuzzParse).
+// Only source programs round-trip: compiled variants hold barrier opcodes
+// that the assembler deliberately refuses.
+func (p *Program) Source() string {
+	var b strings.Builder
+	if p.NStatics > 0 {
+		fmt.Fprintf(&b, "statics %d\n\n", p.NStatics)
+	}
+	for _, m := range p.Methods {
+		if m.Secure != nil {
+			fmt.Fprintf(&b, "secure method %s args=%d locals=%d", m.Name, m.NArgs, m.NLocal)
+			writeTags(&b, "secrecy", m.Secure.Labels.S)
+			writeTags(&b, "integrity", m.Secure.Labels.I)
+			writeTags(&b, "plus", m.Secure.Caps.Plus())
+			writeTags(&b, "minus", m.Secure.Caps.Minus())
+			b.WriteByte('\n')
+		} else {
+			fmt.Fprintf(&b, "method %s args=%d locals=%d\n", m.Name, m.NArgs, m.NLocal)
+		}
+		p.writeCode(&b, m.Code, "L")
+		if m.Secure != nil && m.Secure.Catch != nil {
+			b.WriteString("catch:\n")
+			p.writeCode(&b, m.Secure.Catch, "C")
+		}
+		b.WriteString("end\n\n")
+	}
+	return b.String()
+}
+
+func writeTags(b *strings.Builder, key string, l difc.Label) {
+	tags := l.Tags()
+	if len(tags) == 0 {
+		return
+	}
+	parts := make([]string, len(tags))
+	for i, t := range tags {
+		parts[i] = fmt.Sprintf("%d", uint64(t))
+	}
+	fmt.Fprintf(b, " %s=%s", key, strings.Join(parts, ","))
+}
+
+// writeCode renders one code block with prefix-named labels at branch
+// targets. Branch targets past the end of the block get a trailing label
+// line; Parse's assembler accepts a label at the very end of a block.
+func (p *Program) writeCode(b *strings.Builder, code []Instr, prefix string) {
+	targets := map[int32]bool{}
+	for _, in := range code {
+		if in.Op.isJump() {
+			targets[in.A] = true
+		}
+	}
+	label := func(pc int32) string { return fmt.Sprintf("%s%d", prefix, pc) }
+	for pc, in := range code {
+		if targets[int32(pc)] {
+			fmt.Fprintf(b, "%s:\n", label(int32(pc)))
+		}
+		switch {
+		case in.Op.isJump():
+			fmt.Fprintf(b, "    %s %s\n", in.Op, label(in.A))
+		case in.Op == OpInvoke:
+			name := fmt.Sprintf("m%d", in.A)
+			if int(in.A) >= 0 && int(in.A) < len(p.Methods) {
+				name = p.Methods[in.A].Name
+			}
+			fmt.Fprintf(b, "    invoke %s\n", name)
+		case hasOperand(in.Op):
+			fmt.Fprintf(b, "    %s %d\n", in.Op, in.A)
+		default:
+			fmt.Fprintf(b, "    %s\n", in.Op)
+		}
+	}
+	if targets[int32(len(code))] {
+		fmt.Fprintf(b, "%s:\n", label(int32(len(code))))
+	}
+}

@@ -29,10 +29,19 @@ func (m *Method) returnsValue() bool {
 // slot bounds, call indices, and the security-region restrictions of §5.1.
 // It also records each method's maximum stack depth for frame allocation.
 // Programs must verify before Compile.
-// Verification is memoized: mutating a verified program's methods is a
-// caller error.
+//
+// Verification is memoized. Mutating a verified program's methods in
+// place is a caller error, and an enforced one: the memoized path
+// re-fingerprints the method table and returns a VerifyError on mismatch
+// instead of silently blessing stale verification state. (Program.Add
+// legitimately extends a verified program; it clears the memo so the next
+// Verify runs in full.)
 func (p *Program) Verify() error {
 	if p.verified {
+		if fp := p.fingerprint(); fp != p.verifiedFP {
+			return &VerifyError{Method: "(program)", PC: 0,
+				Msg: "method table mutated after verification; verified state is stale"}
+		}
 		return nil
 	}
 	for _, m := range p.Methods {
@@ -41,6 +50,7 @@ func (p *Program) Verify() error {
 		}
 	}
 	p.verified = true
+	p.verifiedFP = p.fingerprint()
 	return nil
 }
 

@@ -181,3 +181,55 @@ func TestVerifyGoodProgramWithRegions(t *testing.T) {
 		t.Errorf("secureProgram fails verification: %v", err)
 	}
 }
+
+// The verifier memoizes by fingerprint: re-verifying an unchanged program
+// is free, but any mutation of the method table after a successful Verify
+// invalidates the memoized result instead of silently reusing it. The
+// compiler trusts verified invariants (stack depths, branch targets), so
+// a stale "verified" bit would let unchecked code reach barrier insertion.
+func TestVerifyMemoizationDetectsMutation(t *testing.T) {
+	build := func() (*Program, *Method) {
+		p := NewProgram(1)
+		m := method("m", 0, 1, nil, NewAsm().
+			Const(7).Store(0).Load(0).Op(OpReturnVal).MustBuild())
+		p.Add(m)
+		return p, m
+	}
+
+	p, m := build()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("re-verify of unchanged program: %v", err)
+	}
+
+	// In-place instruction edit after verification.
+	m.Code[0].A = 9
+	err := p.Verify()
+	if err == nil || !strings.Contains(err.Error(), "mutated after verification") {
+		t.Fatalf("verify after code edit = %v, want stale-state error", err)
+	}
+
+	// Add goes through the front door: it resets the memoized bit, so the
+	// next Verify is a full re-verification, not a stale-state error.
+	p2, _ := build()
+	if err := p2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	p2.Add(method("extra", 0, 0, nil, []Instr{{Op: OpReturn}}))
+	if err := p2.Verify(); err != nil {
+		t.Fatalf("verify after Add = %v, want full re-verification to pass", err)
+	}
+
+	// NewMachine surfaces the same error: a machine must never be built
+	// over a mutated-but-memoized program.
+	p3, m3 := build()
+	if err := p3.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	m3.Code[0].Op = OpNop
+	if _, err := NewMachine(p3, CompileOptions{Mode: BarrierStatic}); err == nil {
+		t.Fatal("NewMachine accepted a program mutated after verification")
+	}
+}

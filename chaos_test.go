@@ -1,10 +1,13 @@
 package laminar_test
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"laminar/internal/chaos"
 	"laminar/internal/faultinject"
+	"laminar/internal/telemetry"
 )
 
 // chaosRates is the mixed fault cocktail the seeded schedules run under:
@@ -81,6 +84,94 @@ func TestChaosReproducible(t *testing.T) {
 	}
 	if a.Faults != b.Faults {
 		t.Fatalf("same seed produced different fault counts: %d vs %d", a.Faults, b.Faults)
+	}
+}
+
+// TestChaosFlightRecorder asserts the tentpole's postmortem story under
+// chaos, and acts as a third differential oracle alongside PR 2's:
+//
+//  1. The flight recorder survives a crash-heavy schedule: injected
+//     crash-kills tear down tasks mid-syscall, yet the ring still holds a
+//     coherent, Seq-ordered denial stream at the end.
+//  2. The dumped ring replays deterministically: every policy denial in
+//     the dump, re-checked against the pure difc rules (the same serial
+//     checks the big-lock kernel runs), reproduces the recorded verdict.
+//  3. Sharded vs WithBigLock(): the same seed produces the identical
+//     denial stream (site, op, rule, tag delta) under both locking
+//     disciplines — telemetry provenance is lock-schedule-invariant.
+func TestChaosFlightRecorder(t *testing.T) {
+	for seed := int64(11); seed <= 14; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := chaos.Config{Seed: seed, Ops: 200, Rates: chaosRates, Record: true, Telemetry: true}
+			shard := chaos.Run(cfg)
+			cfg.BigLock = true
+			big := chaos.Run(cfg)
+
+			if shard.Telemetry == nil || big.Telemetry == nil {
+				t.Fatal("telemetry recorder not attached")
+			}
+			if shard.Faults == 0 {
+				t.Fatal("schedule injected no faults; crash survival proves nothing")
+			}
+
+			// (1) Ring survived: events present, totally ordered by Seq.
+			events := shard.Telemetry.Snapshot()
+			if len(events) == 0 {
+				t.Fatal("flight ring empty after chaos run")
+			}
+			for i := 1; i < len(events); i++ {
+				if events[i].Seq <= events[i-1].Seq {
+					t.Fatalf("ring order broken at %d: seq %d after %d", i, events[i].Seq, events[i-1].Seq)
+				}
+			}
+
+			// (2) Dump → read back → replay. Every replayable policy denial
+			// must reproduce its recorded verdict from the dump alone.
+			var buf bytes.Buffer
+			if err := shard.Telemetry.Dump(&buf); err != nil {
+				t.Fatal(err)
+			}
+			dumped, err := telemetry.ReadDump(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dumped) != len(events) {
+				t.Fatalf("dump round trip lost events: %d -> %d", len(events), len(dumped))
+			}
+			replayed := 0
+			for _, e := range dumped {
+				if e.Kind != telemetry.KindDeny || e.Rule == telemetry.RuleFault || e.Rule == telemetry.RuleNone {
+					continue // fault-closed and unstructured denials have no pure check to re-run
+				}
+				res := telemetry.Replay(e)
+				if !res.Replayable {
+					continue
+				}
+				replayed++
+				if !res.Denied || !res.Matches {
+					t.Errorf("dumped denial does not replay: %s\n%s", e.String(), telemetry.Explain(e))
+				}
+			}
+			if replayed == 0 {
+				t.Error("no policy denial was replayable; oracle exercised nothing")
+			}
+
+			// (3) Same seed, big-lock kernel: identical denial provenance.
+			key := func(e telemetry.Event) string {
+				return fmt.Sprintf("%s|%s|%s|%v", e.Site, e.Op, e.Rule, e.Delta)
+			}
+			sd, bd := shard.Telemetry.Denials(), big.Telemetry.Denials()
+			if len(sd) != len(bd) {
+				t.Fatalf("denial streams diverge: sharded %d, biglock %d", len(sd), len(bd))
+			}
+			for i := range sd {
+				if key(sd[i]) != key(bd[i]) {
+					t.Errorf("denial %d diverges across locking disciplines:\n  sharded: %s\n  biglock: %s", i, key(sd[i]), key(bd[i]))
+				}
+			}
+		})
 	}
 }
 

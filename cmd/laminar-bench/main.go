@@ -42,6 +42,9 @@ func main() {
 		concJSON  = flag.String("concjson", "BENCH_concurrency.json", "where -concurrency writes its JSON result")
 		barriers  = flag.Bool("barriers", false, "barrier-reduction table over the optimization corpus")
 		barrJSON  = flag.String("barriersjson", "BENCH_barriers.json", "where -barriers writes its JSON result")
+		telem     = flag.Bool("telemetry", false, "telemetry overhead: storms under baseline/off/deny/all recording")
+		telJSON   = flag.String("teljson", "BENCH_telemetry.json", "where -telemetry writes its JSON result")
+		telGate   = flag.Bool("telgate", false, "with -telemetry: exit nonzero if disabled-path overhead exceeds the 2% gate")
 		scale     = flag.Int("scale", 1, "workload scale factor (apps)")
 		iters     = flag.Int("iters", 300, "JVM workload loop iterations")
 		trials    = flag.Int("trials", 5, "trials per measurement (median/min)")
@@ -162,6 +165,29 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *barrJSON)
+		}
+	}
+	if *all || *telem {
+		ran = true
+		rep, err := eval.Telemetry(*concTasks, *concOps, *trials, *concIO)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *telJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*telJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *telJSON)
+		}
+		if *telGate && !rep.Pass {
+			fmt.Fprintf(os.Stderr, "laminar-bench: telemetry disabled-path overhead %.3fx exceeds %.2fx gate\n",
+				rep.HeadlineOff, rep.GateMax)
+			os.Exit(1)
 		}
 	}
 	if !ran {

@@ -2,19 +2,38 @@
 // syscall level: Alice and Bob keep labeled calendar files on a server
 // they do not administer, hand the scheduler capabilities over pipes, and
 // the DIFC rules—not trust in the server—keep their data from leaking.
+//
+// With -trace, every enforcement decision the stack makes while the
+// scenario runs is printed live from the telemetry stream — allows,
+// denials with the violated rule and offending tags, region entries and
+// exits — demonstrating the auditability story end to end.
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 
 	"laminar"
 	"laminar/internal/kernel"
+	"laminar/internal/telemetry"
 )
 
 func main() {
-	sys := laminar.NewSystem()
+	trace := flag.Bool("trace", false, "print live DIFC decision provenance while the scenario runs")
+	flag.Parse()
+
+	var opts []kernel.Option
+	if *trace {
+		rec := telemetry.NewRecorder()
+		rec.SetLevel(telemetry.LevelAll)
+		rec.Subscribe(func(e telemetry.Event) {
+			fmt.Println("    trace |", e.String())
+		})
+		opts = append(opts, kernel.WithTelemetry(rec))
+	}
+	sys := laminar.NewSystem(opts...)
 	k := sys.Kernel()
 
 	fmt.Println("== boot ==")

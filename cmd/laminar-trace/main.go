@@ -1,0 +1,266 @@
+// Command laminar-trace inspects Laminar's DIFC telemetry: the flight-ring
+// dumps (JSONL, one event per line) that the kernel, chaos harness, or the
+// record subcommand produce.
+//
+// Usage:
+//
+//	laminar-trace record [-out ring.jsonl] [-level all|deny]
+//	    Drive a built-in Alice/scheduler denial scenario on a live system
+//	    with a private recorder and dump its flight ring.
+//
+//	laminar-trace tail [-dump ring.jsonl] [-deny] [-layer L] [-op O] [-site S] [-n N]
+//	    Print events from a dump, newest last, with optional filters.
+//
+//	laminar-trace explain-denial [-dump ring.jsonl] [-seq N]
+//	    Reconstruct one denial's exact check from the dump alone: which
+//	    rule fired, the operand labels, the offending tag delta — and
+//	    re-run the pure DIFC check to confirm the recorded verdict
+//	    (MATCHES / DIVERGED). Defaults to the most recent denial.
+//
+//	laminar-trace stats [-dump ring.jsonl]
+//	    Aggregate the dump: events by kind, denials by rule, top sites.
+//
+// A dump path of "-" reads stdin, so dumps pipe: laminar-trace record |
+// laminar-trace explain-denial -dump -.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"laminar"
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+	"laminar/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		fs := flag.NewFlagSet("record", flag.ExitOnError)
+		out := fs.String("out", "ring.jsonl", "dump destination (- for stdout)")
+		level := fs.String("level", "all", "recording level: all or deny")
+		fs.Parse(os.Args[2:])
+		err = runRecord(*out, *level)
+	case "tail":
+		fs := flag.NewFlagSet("tail", flag.ExitOnError)
+		dump := fs.String("dump", "ring.jsonl", "flight-ring dump to read (- for stdin)")
+		deny := fs.Bool("deny", false, "denials only")
+		layer := fs.String("layer", "", "filter by layer (kernel, lsm, rt, jvm)")
+		op := fs.String("op", "", "filter by operation")
+		site := fs.String("site", "", "filter by site")
+		n := fs.Int("n", 0, "print only the last n matching events (0 = all)")
+		fs.Parse(os.Args[2:])
+		err = runTail(os.Stdout, *dump, *deny, *layer, *op, *site, *n)
+	case "explain-denial":
+		fs := flag.NewFlagSet("explain-denial", flag.ExitOnError)
+		dump := fs.String("dump", "ring.jsonl", "flight-ring dump to read (- for stdin)")
+		seq := fs.Uint64("seq", 0, "sequence number of the denial to explain (0 = most recent)")
+		fs.Parse(os.Args[2:])
+		err = runExplain(os.Stdout, *dump, *seq)
+	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		dump := fs.String("dump", "ring.jsonl", "flight-ring dump to read (- for stdin)")
+		fs.Parse(os.Args[2:])
+		err = runStats(os.Stdout, *dump)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laminar-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: laminar-trace <record|tail|explain-denial|stats> [flags]")
+}
+
+func readEvents(path string) ([]telemetry.Event, error) {
+	var rd io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rd = f
+	}
+	return telemetry.ReadDump(rd)
+}
+
+// runRecord boots a system with a private recorder and drives the §3.3
+// scenario far enough to produce allows and denials in every layer the
+// kernel sees: labeled create, region syscalls, a tainted write-down, a
+// read probe without the tag, a capability-less label change.
+func runRecord(out, level string) error {
+	rec := telemetry.NewRecorder()
+	switch level {
+	case "all":
+		rec.SetLevel(telemetry.LevelAll)
+	case "deny":
+		rec.SetLevel(telemetry.LevelDeny)
+	default:
+		return fmt.Errorf("unknown level %q (want all or deny)", level)
+	}
+	sys := laminar.NewSystem(kernel.WithTelemetry(rec))
+	k := sys.Kernel()
+
+	alice, err := sys.Login("alice")
+	if err != nil {
+		return err
+	}
+	bob, err := sys.Login("bob")
+	if err != nil {
+		return err
+	}
+	if err := k.Chdir(alice, "/tmp"); err != nil {
+		return err
+	}
+	tag, err := k.AllocTag(alice)
+	if err != nil {
+		return err
+	}
+	secret := difc.NewLabel(tag)
+	fd, err := k.CreateFileLabeled(alice, "alice.cal", 0o600, difc.Labels{S: secret})
+	if err != nil {
+		return err
+	}
+	k.Close(alice, fd)
+
+	// Denials, one per op family. Errors are the point here. The pipe is
+	// made while alice is still clean so it stays unlabeled; her tainted
+	// write into it is then a write-down the kernel silently drops.
+	_, _ = k.Open(bob, "/tmp/alice.cal", kernel.ORead) // secrecy read
+	_ = k.SetTaskLabel(bob, kernel.Secrecy, secret)    // label change w/o t+
+	_, pw, perr := k.Pipe(alice)
+	if err := k.SetTaskLabel(alice, kernel.Secrecy, secret); err == nil {
+		if perr == nil {
+			_, _ = k.Write(alice, pw, []byte("leak")) // tainted write-down, silent drop
+		}
+		_ = k.Kill(alice, bob.TID, kernel.SIGUSR1) // tainted signal
+		_ = k.SetTaskLabel(alice, kernel.Secrecy, difc.EmptyLabel)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.Dump(w); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("wrote %d events to %s (%d denials)\n", len(rec.Snapshot()), out, len(rec.Denials()))
+	}
+	return nil
+}
+
+func runTail(w io.Writer, dump string, denyOnly bool, layer, op, site string, n int) error {
+	events, err := readEvents(dump)
+	if err != nil {
+		return err
+	}
+	var match []telemetry.Event
+	for _, e := range events {
+		if denyOnly && e.Kind != telemetry.KindDeny {
+			continue
+		}
+		if layer != "" && e.Layer.String() != layer {
+			continue
+		}
+		if op != "" && e.Op != op {
+			continue
+		}
+		if site != "" && e.Site != site {
+			continue
+		}
+		match = append(match, e)
+	}
+	if n > 0 && len(match) > n {
+		match = match[len(match)-n:]
+	}
+	for _, e := range match {
+		fmt.Fprintln(w, e.String())
+	}
+	fmt.Fprintf(w, "%d/%d events\n", len(match), len(events))
+	return nil
+}
+
+func runExplain(w io.Writer, dump string, seq uint64) error {
+	events, err := readEvents(dump)
+	if err != nil {
+		return err
+	}
+	var pick *telemetry.Event
+	for i := range events {
+		e := &events[i]
+		if e.Kind != telemetry.KindDeny {
+			continue
+		}
+		if seq == 0 || e.Seq == seq {
+			pick = e // seq 0: keep overwriting, ends on the most recent
+		}
+	}
+	if pick == nil {
+		if seq != 0 {
+			return fmt.Errorf("no denial with seq %d in %s", seq, dump)
+		}
+		return fmt.Errorf("no denials in %s", dump)
+	}
+	fmt.Fprintln(w, telemetry.Explain(*pick))
+	return nil
+}
+
+func runStats(w io.Writer, dump string) error {
+	events, err := readEvents(dump)
+	if err != nil {
+		return err
+	}
+	kinds := map[string]int{}
+	rules := map[string]int{}
+	sites := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind.String()]++
+		if e.Kind == telemetry.KindDeny {
+			rules[e.Rule.String()]++
+			sites[e.Site]++
+		}
+	}
+	fmt.Fprintf(w, "%d events\n\nby kind:\n", len(events))
+	printSorted(w, kinds)
+	fmt.Fprintln(w, "\ndenials by rule:")
+	printSorted(w, rules)
+	fmt.Fprintln(w, "\ndenials by site:")
+	printSorted(w, sites)
+	return nil
+}
+
+func printSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %6d  %s\n", m[k], k)
+	}
+}

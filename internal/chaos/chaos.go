@@ -34,6 +34,7 @@ import (
 	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
 	"laminar/internal/kernel/lsm"
+	"laminar/internal/telemetry"
 )
 
 // Config parameterizes one chaos run.
@@ -51,6 +52,11 @@ type Config struct {
 	// (seed, step), so the same seed exercises the identical fault
 	// schedule under both locking disciplines.
 	BigLock bool
+	// Telemetry attaches a private flight recorder (LevelDeny) to the
+	// run's kernel and returns it in the report. Private, not
+	// telemetry.Default: the test harness runs many seeds in parallel,
+	// and their rings must not interleave.
+	Telemetry bool
 }
 
 // Report is the outcome of a run.
@@ -61,6 +67,10 @@ type Report struct {
 	Violations []string
 	Schedule   string
 	Recovery   lsm.RecoveryStats
+	// Telemetry is the run's flight recorder (nil unless Config.Telemetry
+	// was set). Still live after the run: the caller can Snapshot, Dump
+	// and Replay its ring for the differential oracle.
+	Telemetry *telemetry.Recorder
 }
 
 // secretFile tracks one fully written secret the attacker must never read.
@@ -124,6 +134,12 @@ func Run(cfg Config) Report {
 	if cfg.BigLock {
 		opts = append(opts, kernel.WithBigLock())
 	}
+	var rec *telemetry.Recorder
+	if cfg.Telemetry {
+		rec = telemetry.NewRecorder()
+		rec.SetLevel(telemetry.LevelDeny)
+		opts = append(opts, kernel.WithTelemetry(rec))
+	}
 	r.sys = laminar.NewSystemWithInjector(r.plan, opts...)
 	r.k = r.sys.Kernel()
 	r.mod = r.sys.Module()
@@ -162,7 +178,7 @@ func Run(cfg Config) Report {
 
 	// Final reboot: recovery must leave every secret denied to the
 	// attacker and every surviving thread label-clean.
-	rec := r.mod.RecoverLabels(r.k)
+	recStats := r.mod.RecoverLabels(r.k)
 	r.finalInvariants()
 
 	report := Report{
@@ -170,7 +186,8 @@ func Run(cfg Config) Report {
 		Ops:        cfg.Ops,
 		Faults:     len(r.plan.Decisions()),
 		Violations: r.violations,
-		Recovery:   rec,
+		Recovery:   recStats,
+		Telemetry:  rec,
 	}
 	if cfg.Record {
 		report.Schedule = r.plan.Schedule()

@@ -55,6 +55,16 @@ func CanChangeLabels(from, to Labels, caps CapSet) bool {
 	return CanChange(from.S, to.S, caps) && CanChange(from.I, to.I, caps)
 }
 
+// CheckChangeLabels is CanChangeLabels with provenance: the returned
+// *ChangeError names the first component whose change the capability set
+// does not permit.
+func CheckChangeLabels(op string, from, to Labels, caps CapSet) error {
+	if err := CheckChange(op, from.S, to.S, caps); err != nil {
+		return err
+	}
+	return CheckChange(op, from.I, to.I, caps)
+}
+
 // CanEnterRegion checks the security-region initialization rules (§4.3.2)
 // for a principal with labels p and capabilities pc entering a region
 // declared with labels r and capabilities rc:
@@ -69,19 +79,32 @@ func CanChangeLabels(from, to Labels, caps CapSet) bool {
 // a− is in the entering thread's capability set; without the drop check, a
 // nested empty region would silently declassify the thread.
 func CanEnterRegion(p Labels, pc CapSet, r Labels, rc CapSet) bool {
-	if !r.S.SubsetOf(pc.Plus().Union(p.S)) {
-		return false
+	return CheckEnterRegion(p, pc, r, rc) == nil
+}
+
+// CheckEnterRegion is CanEnterRegion with provenance: it returns nil when
+// entry is legal and a *ChangeError naming the first violated condition
+// and its offending tag delta otherwise. The Op field distinguishes the
+// acquisition half ("region-enter"), the declassification half
+// ("region-drop"), and the capability-subset condition ("region-caps").
+func CheckEnterRegion(p Labels, pc CapSet, r Labels, rc CapSet) error {
+	if err := CheckAcquire("region-enter", p.S, r.S, pc); err != nil {
+		return err
 	}
-	if !r.I.SubsetOf(pc.Plus().Union(p.I)) {
-		return false
+	if err := CheckAcquire("region-enter", p.I, r.I, pc); err != nil {
+		return err
 	}
-	if !p.S.Minus(r.S).SubsetOf(pc.Minus()) {
-		return false
+	if missing := p.S.Minus(r.S).Minus(pc.Minus()); !missing.IsEmpty() {
+		return &ChangeError{Op: "region-drop", Check: "drop", From: p.S, To: r.S, Caps: pc, Missing: missing}
 	}
-	if !p.I.Minus(r.I).SubsetOf(pc.Minus()) {
-		return false
+	if missing := p.I.Minus(r.I).Minus(pc.Minus()); !missing.IsEmpty() {
+		return &ChangeError{Op: "region-drop", Check: "drop", From: p.I, To: r.I, Caps: pc, Missing: missing}
 	}
-	return rc.SubsetOf(pc)
+	if !rc.SubsetOf(pc) {
+		missing := rc.Plus().Minus(pc.Plus()).Union(rc.Minus().Minus(pc.Minus()))
+		return &ChangeError{Op: "region-caps", Check: "subset", From: rc.Plus(), To: rc.Minus(), Caps: pc, Missing: missing}
+	}
+	return nil
 }
 
 // FlowError describes a rejected information flow. It satisfies error and
@@ -97,6 +120,62 @@ type FlowError struct {
 // Error formats the violation.
 func (e *FlowError) Error() string {
 	return fmt.Sprintf("difc: %s: %s flow violation: %v -> %v", e.Op, e.Rule, e.Src, e.Dst)
+}
+
+// Delta returns the offending tag set of the violated rule: the secrecy
+// tags the source carries beyond the destination, or the integrity tags
+// the destination demands beyond the source. Telemetry provenance records
+// it so a denial names not just the rule but the exact tags that fired it.
+func (e *FlowError) Delta() Label {
+	if e.Rule == "integrity" {
+		return e.Dst.I.Minus(e.Src.I)
+	}
+	return e.Src.S.Minus(e.Dst.S)
+}
+
+// ChangeError describes a rejected label change (or label acquisition):
+// the principal lacked the capabilities to move from From to To. Missing
+// carries the exact tags for which the needed capability was absent, so a
+// provenance record can name the offending delta.
+type ChangeError struct {
+	Op      string // operation attempted, e.g. "set_task_label", "create"
+	Check   string // which check shape fired: "change", "acquire", "drop", "subset"
+	From    Label  // current label
+	To      Label  // requested label
+	Caps    CapSet // the capability set the check ran against
+	Missing Label  // tags lacking the required capability
+}
+
+// Error formats the violation.
+func (e *ChangeError) Error() string {
+	if e.Check == "subset" {
+		return fmt.Sprintf("difc: %s: capability subset violation: need %v held for %v", e.Op, NewCapSet(e.From, e.To), e.Missing)
+	}
+	return fmt.Sprintf("difc: %s: label change %v -> %v denied: missing capability for %v", e.Op, e.From, e.To, e.Missing)
+}
+
+// CheckChange returns nil when the label-change rule permits from -> to
+// under caps, and a *ChangeError naming the capability-less tags
+// otherwise.
+func CheckChange(op string, from, to Label, caps CapSet) error {
+	missing := to.Minus(from).Minus(caps.Plus()).Union(from.Minus(to).Minus(caps.Minus()))
+	if missing.IsEmpty() {
+		return nil
+	}
+	return &ChangeError{Op: op, Check: "change", From: from, To: to, Caps: caps, Missing: missing}
+}
+
+// CheckAcquire returns nil when the principal could acquire label want
+// given current label have and capability set caps (want ⊆ C+ ∪ have) —
+// the acquisition half of the label-change rule used by labeled create
+// and region entry — and a *ChangeError naming the unobtainable tags
+// otherwise.
+func CheckAcquire(op string, have, want Label, caps CapSet) error {
+	missing := want.Minus(caps.Plus().Union(have))
+	if missing.IsEmpty() {
+		return nil
+	}
+	return &ChangeError{Op: op, Check: "acquire", From: have, To: want, Caps: caps, Missing: missing}
 }
 
 // CheckFlow returns nil when information may flow src → dst, and a

@@ -41,6 +41,13 @@ var (
 
 	internHits   atomic.Uint64
 	internMisses atomic.Uint64
+
+	// internByID is the reverse index (id -> Label) used by the telemetry
+	// layer to resolve the interned ids recorded in provenance events back
+	// into tag sets for dumps and replay. Writes happen only on first-time
+	// interning (cold); reads are lock-free. Memory is bounded by the same
+	// per-shard cap as the forward table.
+	internByID sync.Map // uint64 -> Label
 )
 
 // emptyInternID is the permanent id of the empty label.
@@ -107,8 +114,30 @@ func Intern(l Label) Label {
 	id = internIDs.Add(1)
 	sh.m[key] = id
 	sh.mu.Unlock()
+	internByID.Store(id, Label{tags: l.tags, id: id})
 	internMisses.Add(1)
 	return Label{tags: l.tags, id: id}
+}
+
+// InternedID returns the label's canonical intern id (0 when the label is
+// not interned). Telemetry events store these ids instead of copying tag
+// sets onto the hot path.
+func (l Label) InternedID() uint64 { return l.id }
+
+// LabelByID resolves a canonical intern id back to its label. The empty
+// label's reserved id resolves without a table entry; id 0 ("not
+// interned") and unknown ids report ok=false.
+func LabelByID(id uint64) (Label, bool) {
+	if id == emptyInternID {
+		return Label{id: emptyInternID}, true
+	}
+	if id == 0 {
+		return Label{}, false
+	}
+	if v, ok := internByID.Load(id); ok {
+		return v.(Label), true
+	}
+	return Label{}, false
 }
 
 // InternLabels interns both components of a label pair.

@@ -1,0 +1,30 @@
+package jvm
+
+import "laminar/internal/telemetry"
+
+// PublishTelemetry folds the machine's compile-time barrier decisions
+// (PR 3's kept/elided counts) and run-time security counters into rec's
+// free-form metric series. It is a snapshot-time fold, called once per
+// machine at the end of a run (bench and eval harnesses do this) — never
+// from the interpreter loop — so it cannot perturb the differential
+// oracle's configuration-invariant traces. No-op when telemetry is off.
+func (mc *Machine) PublishTelemetry(rec *telemetry.Recorder) {
+	if rec == nil || !rec.Active() {
+		return
+	}
+	cr := mc.CompileReport()
+	rs := mc.Stats()
+	add := func(name string, n uint64) {
+		if n > 0 {
+			rec.M.Extra.Get(name).Add(0, n)
+		}
+	}
+	add("jvm.methods.compiled", uint64(cr.Methods))
+	add("jvm.barriers.emitted", uint64(cr.BarriersEmitted))
+	add("jvm.barriers.elided", uint64(cr.BarriersElided))
+	add("jvm.calls.inlined", uint64(cr.InlinedCalls))
+	add("jvm.barrier.checks", rs.BarrierChecks)
+	add("jvm.context.checks", rs.ContextChecks)
+	add("jvm.regions.entered", rs.RegionsEntered)
+	add("jvm.violations", rs.Violations)
+}

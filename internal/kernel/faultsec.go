@@ -34,8 +34,10 @@ func wrapFaulting(k *Kernel) {
 func (f *faultingModule) hookFault(site string, t *Task) error {
 	switch f.k.inj.At("hook." + site) {
 	case faultinject.Error:
+		f.k.faultTrip("hook."+site, t, "error")
 		return fmt.Errorf("%w: injected fault in hook %s", ErrIO, site)
 	case faultinject.Crash:
+		f.k.faultTrip("hook."+site, t, "crash")
 		if t != nil && t.TID == 1 {
 			return fmt.Errorf("%w: injected fault in hook %s", ErrIO, site)
 		}

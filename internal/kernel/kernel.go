@@ -8,6 +8,7 @@ import (
 
 	"laminar/internal/difc"
 	"laminar/internal/faultinject"
+	"laminar/internal/telemetry"
 )
 
 // Kernel is the simulated operating system: a sharded task table, an
@@ -52,6 +53,14 @@ type Kernel struct {
 	// inj is the optional fault injector consulted at every syscall-layer
 	// injection point. nil (production) injects nothing.
 	inj faultinject.Injector
+
+	// tel is the telemetry recorder observing this kernel's enforcement
+	// points (telemetry.go). Defaults to telemetry.Default; nil under
+	// WithoutTelemetry, in which case no wrapper is installed at all.
+	tel *telemetry.Recorder
+	// telOff suppresses the telemetry wrapper entirely (the benchmark
+	// baseline).
+	telOff bool
 }
 
 // Option configures kernel construction.
@@ -99,8 +108,10 @@ func (k *Kernel) inject(site string, t *Task) error {
 	}
 	switch k.inj.At(site) {
 	case faultinject.Error:
+		k.faultTrip(site, t, "error")
 		return ErrIO
 	case faultinject.Crash:
+		k.faultTrip(site, t, "crash")
 		if t != nil && t.TID == 1 {
 			// Killing init would be a whole-machine crash, which the
 			// harness models as a reboot (RecoverLabels), not task death.
@@ -113,6 +124,20 @@ func (k *Kernel) inject(site string, t *Task) error {
 	default:
 		return nil
 	}
+}
+
+// faultTrip records an injector firing at a syscall-layer site — the
+// provenance for denials that come from fail-closed fault handling
+// rather than a DIFC rule.
+func (k *Kernel) faultTrip(site string, t *Task, kind string) {
+	if k.tel == nil || !k.tel.Active() {
+		return
+	}
+	var tid uint64
+	if t != nil {
+		tid = uint64(t.TID)
+	}
+	k.tel.EmitFaultTrip(telemetry.LayerKernel, site, tid, kind)
 }
 
 // killTaskHolding terminates t mid-operation (fault-injected crash): the
@@ -139,6 +164,7 @@ func New(opts ...Option) *Kernel {
 		o(k)
 	}
 	wrapFaulting(k)
+	wrapTelemetry(k) // outermost: provenance sees fault-injected denials too
 	k.root = newInode(TypeDir, 0o755)
 	init := k.newTask(nil, "root")
 	k.taskInsert(init)

@@ -107,6 +107,16 @@ func (k *Kernel) begin(t *Task) func() {
 	if t == nil {
 		return nopUnlock
 	}
+	// With telemetry active, a failed TryLock counts as one contended
+	// syscall entry before falling back to the blocking acquire. The
+	// disabled path takes the plain Lock with no extra atomics.
+	if rec := k.tel; rec != nil && rec.Active() {
+		if !t.mu.TryLock() {
+			rec.M.LockContention.Inc(uint64(t.TID))
+			t.mu.Lock()
+		}
+		return t.mu.Unlock
+	}
 	t.mu.Lock()
 	return t.mu.Unlock
 }

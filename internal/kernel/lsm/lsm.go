@@ -14,6 +14,7 @@ import (
 	"laminar/internal/difc"
 	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
+	"laminar/internal/telemetry"
 )
 
 // Legacy per-label xattr names, mirroring Laminar's use of ext3 extended
@@ -64,6 +65,12 @@ type Module struct {
 	// inj is the optional fault injector for the label-persistence path
 	// (nil in production); see persist.go.
 	inj faultinject.Injector
+
+	// tel is the telemetry recorder for LSM-internal decisions the kernel
+	// wrapper cannot see: capability transfers silently dropped by pipe
+	// semantics and quarantine relabels during crash recovery. nil means
+	// unobserved (see SetTelemetry).
+	tel *telemetry.Recorder
 
 	// tcbProcs records processes that registered a trusted VM thread.
 	// Multithreaded processes WITHOUT one must keep all threads at the
@@ -240,9 +247,10 @@ func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, label
 		f := *labels
 		// (1) The creator's current secrecy must flow into the new file:
 		// Sp ⊆ Sf, so a tainted creator cannot launder its taint into a
-		// less-secret file.
-		if !ts.labels.S.SubsetOf(f.S) {
-			return fmt.Errorf("%w: creator secrecy %v exceeds file label %v", kernel.ErrPerm, ts.labels.S, f.S)
+		// less-secret file. Checked as a pure secrecy flow so the denial
+		// carries the exact FlowError operands.
+		if err := difc.CheckFlow("create", difc.Labels{S: ts.labels.S}, difc.Labels{S: f.S}); err != nil {
+			return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
 		}
 		// (2) The creator must hold capabilities to acquire the file's
 		// labels: every secrecy tag it does not already carry needs the
@@ -251,11 +259,11 @@ func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, label
 		// creator could raise itself to the label anyway, so granting the
 		// create directly is sound and avoids the traversal deadlock of
 		// requiring high-integrity tasks to read low-integrity parents.)
-		if !f.S.SubsetOf(ts.caps.Plus().Union(ts.labels.S)) {
-			return fmt.Errorf("%w: missing capability for secrecy label %v", kernel.ErrPerm, f.S)
+		if err := difc.CheckAcquire("create", ts.labels.S, f.S, ts.caps); err != nil {
+			return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
 		}
-		if !f.I.SubsetOf(ts.caps.Plus().Union(ts.labels.I)) {
-			return fmt.Errorf("%w: missing capability for integrity label %v", kernel.ErrPerm, f.I)
+		if err := difc.CheckAcquire("create", ts.labels.I, f.I, ts.caps); err != nil {
+			return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
 		}
 		// (3) Write access to the parent directory with the creator's
 		// *current* label is checked by the kernel's separate
@@ -307,22 +315,26 @@ func (m *Module) MmapFile(t *kernel.Task, ino *kernel.Inode, prot int) error {
 
 func (m *Module) checkAccess(t *kernel.Task, obj difc.Labels, mask kernel.AccessMask) error {
 	ts := m.taskState(t)
+	// Denial wraps use %w for the difc error too (not %v): the rendered
+	// string is identical, but the structured *difc.FlowError stays
+	// reachable through errors.As, which is how the telemetry layer
+	// recovers the violated rule, the exact operands and the tag delta.
 	if mask&(kernel.MayRead|kernel.MayExec) != 0 {
 		if err := difc.CheckFlow("read", obj, ts.labels); err != nil {
 			// Read denials carry the ErrAccessRead marker: path-based
 			// syscalls convert them to ENOENT so a denied name is
 			// indistinguishable from an absent one (kernel/errno.go).
-			return fmt.Errorf("%w: %v", kernel.ErrAccessRead, err)
+			return fmt.Errorf("%w: %w", kernel.ErrAccessRead, err)
 		}
 	}
 	if mask&kernel.MayWrite != 0 {
 		if err := difc.CheckFlow("write", ts.labels, obj); err != nil {
-			return fmt.Errorf("%w: %v", kernel.ErrAccess, err)
+			return fmt.Errorf("%w: %w", kernel.ErrAccess, err)
 		}
 	}
 	if mask&kernel.MayUnlink != 0 {
 		if err := difc.CheckFlow("unlink", obj, ts.labels); err != nil && !m.couldRead(ts, obj) {
-			return fmt.Errorf("%w: %v", kernel.ErrAccessRead, err)
+			return fmt.Errorf("%w: %w", kernel.ErrAccessRead, err)
 		}
 	}
 	return nil
@@ -345,7 +357,7 @@ func (m *Module) TaskKill(t, target *kernel.Task, sig kernel.Signal) error {
 	src := m.taskState(t).labels
 	dst := m.taskState(target).labels
 	if err := difc.CheckFlow("signal", src, dst); err != nil {
-		return fmt.Errorf("%w: %v", kernel.ErrPerm, err)
+		return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
 	}
 	return nil
 }
@@ -380,8 +392,8 @@ func (m *Module) SetTaskLabel(t *kernel.Task, typ kernel.LabelType, l difc.Label
 	} else {
 		cur = s.labels.I
 	}
-	if !difc.CanChange(cur, l, s.caps) {
-		return fmt.Errorf("%w: label change %v -> %v not permitted by %v", kernel.ErrPerm, cur, l, s.caps)
+	if err := difc.CheckChange("set_task_label", cur, l, s.caps); err != nil {
+		return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
 	}
 	// Task labels are the hottest SubsetOf operand (every permission hook
 	// compares them against object labels), so intern on the way in.
@@ -472,8 +484,17 @@ func (m *Module) WriteCapability(t *kernel.Task, c kernel.Capability, f *kernel.
 		return fmt.Errorf("%w: sender does not hold %v%v", kernel.ErrPerm, c.Tag, c.Kind)
 	}
 	pipeLabels := m.inodeState(f.Inode).labels
-	if difc.CheckFlow("write", s.labels, pipeLabels) != nil {
-		return nil // silently dropped
+	if err := difc.CheckFlow("write", s.labels, pipeLabels); err != nil {
+		// Silently dropped: the caller sees success so the result cannot
+		// leak information — but the drop IS a flow denial, and it is
+		// exactly the kind of invisible decision provenance exists for.
+		// The kernel's hook wrapper never sees an error here, so the
+		// module emits the event itself.
+		if m.tel != nil && m.tel.Active() {
+			m.tel.EmitDeny(telemetry.LayerLSM, "lsm.WriteCapability.silent-drop",
+				"write_capability", uint64(t.TID), t.Proc, err)
+		}
+		return nil
 	}
 	f.Inode.PushCap(&capPayload{cap: c, sender: s.labels})
 	return nil
@@ -485,7 +506,7 @@ func (m *Module) ReadCapability(t *kernel.Task, f *kernel.File) (kernel.Capabili
 	s := m.taskState(t)
 	pipeLabels := m.inodeState(f.Inode).labels
 	if err := difc.CheckFlow("read", pipeLabels, s.labels); err != nil {
-		return kernel.Capability{}, fmt.Errorf("%w: %v", kernel.ErrAccess, err)
+		return kernel.Capability{}, fmt.Errorf("%w: %w", kernel.ErrAccess, err)
 	}
 	v := f.Inode.PopCap()
 	if v == nil {

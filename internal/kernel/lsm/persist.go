@@ -8,6 +8,7 @@ import (
 	"laminar/internal/difc"
 	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
+	"laminar/internal/telemetry"
 )
 
 // Crash-consistent label persistence.
@@ -103,6 +104,12 @@ func decodeLabelRecord(data []byte) (difc.Labels, error) {
 // path (sites "persist.shadow", "persist.commit", "persist.clear"). The
 // chaos harness installs it after boot labeling; production leaves it nil.
 func (m *Module) SetFaultInjector(inj faultinject.Injector) { m.inj = inj }
+
+// SetTelemetry installs the telemetry recorder for LSM-internal events
+// the kernel's hook wrapper cannot observe: silently dropped capability
+// transfers and crash-recovery outcomes. laminar.NewSystem wires this to
+// the kernel's recorder; nil disables.
+func (m *Module) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
 
 // persistFault consults the injector at a persistence step. An Error is a
 // transient media failure (EIO); a Crash is the machine dying mid-step
@@ -265,6 +272,9 @@ func (m *Module) RecoverLabels(k *kernel.Kernel) RecoveryStats {
 		ino.Security = nil
 		labels, state := m.recoverInodeLabels(ino)
 		ino.Security = &inodeSec{labels: difc.InternLabels(labels)}
+		if m.tel != nil && m.tel.Active() {
+			m.tel.M.Extra.Inc("lsm.recovery."+state, 0)
+		}
 		switch state {
 		case "clean":
 			st.Clean++

@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestTelemetryWrapsEveryHook is the structural half of the deny-provenance
+// guarantee: telemetrySec must override every error-returning method of the
+// SecurityModule interface. A method it misses is promoted from the
+// embedded module, so its denials would return to the kernel with no
+// provenance event — exactly the silent-deny bug class this PR closes.
+// Parsing the source keeps the check honest against interface growth:
+// adding a hook without a telemetry override fails here, not in the field.
+func TestTelemetryWrapsEveryHook(t *testing.T) {
+	fset := token.NewFileSet()
+
+	secFile, err := parser.ParseFile(fset, "security.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooks []string
+	ast.Inspect(secFile, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "SecurityModule" {
+			return true
+		}
+		iface, ok := ts.Type.(*ast.InterfaceType)
+		if !ok {
+			return true
+		}
+		for _, m := range iface.Methods.List {
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok || len(m.Names) == 0 {
+				continue
+			}
+			returnsError := false
+			if ft.Results != nil {
+				for _, res := range ft.Results.List {
+					if id, ok := res.Type.(*ast.Ident); ok && id.Name == "error" {
+						returnsError = true
+					}
+				}
+			}
+			if returnsError {
+				hooks = append(hooks, m.Names[0].Name)
+			}
+		}
+		return false
+	})
+	if len(hooks) < 10 {
+		t.Fatalf("found only %d error-returning hooks in SecurityModule; parser broken?", len(hooks))
+	}
+
+	telFile, err := parser.ParseFile(fset, "telemetry.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := map[string]bool{}
+	for _, d := range telFile.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		if star, ok := fd.Recv.List[0].Type.(*ast.StarExpr); ok {
+			if id, ok := star.X.(*ast.Ident); ok && id.Name == "telemetrySec" {
+				wrapped[fd.Name.Name] = true
+			}
+		}
+	}
+
+	for _, h := range hooks {
+		if !wrapped[h] {
+			t.Errorf("SecurityModule.%s returns error but telemetrySec does not wrap it: denials there carry no provenance", h)
+		}
+	}
+}

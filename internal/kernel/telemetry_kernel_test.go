@@ -1,0 +1,173 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+	"laminar/internal/telemetry"
+)
+
+// siteInjector injects a scripted fault kind at exactly one site.
+type siteInjector struct {
+	site string
+	kind faultinject.Kind
+}
+
+func (s *siteInjector) At(site string) faultinject.Kind {
+	if site == s.site {
+		return s.kind
+	}
+	return faultinject.None
+}
+
+// TestWithoutTelemetryBoot: the uninstrumented baseline really installs
+// no wrapper — Telemetry() is nil and syscalls run unobserved.
+func TestWithoutTelemetryBoot(t *testing.T) {
+	k := New(WithSecurityModule(tagModule{}), WithoutTelemetry())
+	if k.Telemetry() != nil {
+		t.Fatal("WithoutTelemetry kernel still exposes a recorder")
+	}
+	init := k.InitTask()
+	fd, err := k.CreateFileLabeled(init, "/tmp/plain", 0o644, difc.Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Close(init, fd)
+}
+
+// TestTelemetryDefaultRecorder: booting with a module but no explicit
+// recorder wires the hooks to telemetry.Default (off by default).
+func TestTelemetryDefaultRecorder(t *testing.T) {
+	k := New(WithSecurityModule(tagModule{}))
+	if k.Telemetry() != telemetry.Default {
+		t.Fatal("no-option boot did not fall back to telemetry.Default")
+	}
+}
+
+// TestTelemetryMmapPath drives mmap + page faults through the wrapper at
+// LevelAll: the MmapFile hook must be observed on both the mmap syscall
+// and the file-backed fault path.
+func TestTelemetryMmapPath(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	rec.SetLevel(telemetry.LevelAll)
+	k := New(WithSecurityModule(tagModule{}), WithTelemetry(rec))
+	init := k.InitTask()
+
+	fd, err := k.CreateFileLabeled(init, "/tmp/map", 0o644, difc.Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(init, fd, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := k.Mmap(init, PageSize, ProtRead, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PageFault(init, addr, false); err != nil {
+		t.Fatal(err)
+	}
+	k.Close(init, fd)
+
+	var mmaps int
+	for _, e := range rec.Snapshot() {
+		if e.Site == "hook.MmapFile" && e.Kind == telemetry.KindAllow {
+			mmaps++
+		}
+	}
+	if mmaps < 2 {
+		t.Fatalf("want MmapFile observed at mmap and fault time, got %d events", mmaps)
+	}
+}
+
+// TestMaskOp pins the mask→operation naming the provenance records use.
+func TestMaskOp(t *testing.T) {
+	cases := []struct {
+		mask AccessMask
+		want string
+	}{
+		{MayRead, "read"},
+		{MayWrite, "write"},
+		{MayExec, "exec"},
+		{MayUnlink, "unlink"},
+		{MayRead | MayExec, "read|exec"},
+		{MayRead | MayWrite, "read|write"},
+		{MayWrite | MayExec, "access"},
+	}
+	for _, c := range cases {
+		if got := maskOp(c.mask); got != c.want {
+			t.Errorf("maskOp(%v) = %q, want %q", c.mask, got, c.want)
+		}
+	}
+}
+
+// TestFaultableHooks covers the fault-injection wrappers for the hooks the
+// chaos schedules rarely reach: mmap, signal delivery, and capability
+// transfer. Each is driven twice — once with an injected Error (must fail
+// closed with ErrIO and be classified RuleFault by telemetry) and once
+// clean (must pass through to the module).
+func TestFaultableHooks(t *testing.T) {
+	for _, hook := range []string{"MmapFile", "TaskKill", "WriteCapability", "ReadCapability"} {
+		t.Run(hook, func(t *testing.T) {
+			for _, faulty := range []bool{true, false} {
+				inj := &siteInjector{}
+				if faulty {
+					inj = &siteInjector{site: "hook." + hook, kind: faultinject.Error}
+				}
+				rec := telemetry.NewRecorder()
+				rec.SetLevel(telemetry.LevelDeny)
+				k := New(WithSecurityModule(tagModule{}), WithFaultInjector(inj), WithTelemetry(rec))
+				init := k.InitTask()
+				child, err := k.Fork(init, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fd, err := k.CreateFileLabeled(init, "/tmp/f", 0o644, difc.Labels{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := k.Write(init, fd, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+				rp, wp, err := k.Pipe(init)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var got error
+				switch hook {
+				case "MmapFile":
+					_, got = k.Mmap(init, PageSize, ProtRead, fd)
+				case "TaskKill":
+					got = k.Kill(init, child.TID, SIGUSR1)
+				case "WriteCapability":
+					got = k.WriteCapability(init, Capability{}, wp)
+				case "ReadCapability":
+					_, got = k.ReadCapability(init, rp)
+				}
+
+				if faulty {
+					if !errors.Is(got, ErrIO) {
+						t.Fatalf("injected fault in %s returned %v, want ErrIO", hook, got)
+					}
+					denials := rec.Denials()
+					if len(denials) == 0 || denials[len(denials)-1].Rule != telemetry.RuleFault {
+						t.Fatalf("fault in %s not recorded as RuleFault: %v", hook, denials)
+					}
+				} else {
+					// tagModule allows everything except ReadCapability,
+					// which reports ENOSYS from the module itself.
+					if hook == "ReadCapability" {
+						if !errors.Is(got, ErrNoSys) {
+							t.Fatalf("clean %s returned %v, want ErrNoSys", hook, got)
+						}
+					} else if got != nil {
+						t.Fatalf("clean %s returned %v", hook, got)
+					}
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"laminar/internal/difc"
+	"laminar/internal/kernel"
+	"laminar/internal/kernel/lsm"
+	"laminar/internal/telemetry"
 )
 
 func TestAuditTrail(t *testing.T) {
@@ -81,8 +84,78 @@ func TestAuditDisabledByDefault(t *testing.T) {
 	}
 }
 
+// TestKernelDenyForwarded checks the adapter half of the audit hook: with
+// a telemetry recorder active, kernel/LSM-layer denials for the VM's
+// process surface in the same audit stream as EvKernelDeny events.
+func TestKernelDenyForwarded(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	rec.SetLevel(telemetry.LevelDeny)
+	mod := lsm.New()
+	k := kernel.New(kernel.WithSecurityModule(mod), kernel.WithTelemetry(rec))
+	mod.InstallSystemIntegrity(k)
+	mod.SetTelemetry(k.Telemetry())
+	shell, err := mod.Login(k, "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, main, err := New(k, mod, shell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Chdir(main.Task(), "/tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	var denies []Event
+	vm.SetAudit(func(e Event) {
+		if e.Kind == EvKernelDeny {
+			denies = append(denies, e)
+		}
+	})
+
+	// Create a secret file, then try to open it unlabeled: the LSM refuses
+	// the read (surfaced as ENOENT) and the kernel-layer denial must reach
+	// the audit hook.
+	tag, err := main.CreateTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := difc.Labels{S: difc.NewLabel(tag)}
+	fd, err := k.CreateFileLabeled(main.Task(), "secret.txt", 0o600, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(main.Task(), fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(main.Task(), "secret.txt", kernel.ORead); err == nil {
+		t.Fatal("open of secret file from unlabeled task succeeded")
+	}
+
+	if len(denies) == 0 {
+		t.Fatal("kernel denial not forwarded to audit hook")
+	}
+	e := denies[0]
+	if e.Err == nil || e.Op == "" {
+		t.Errorf("forwarded denial lacks detail: %+v", e)
+	}
+	if !strings.Contains(e.String(), "kernel-deny") {
+		t.Errorf("event String = %q", e.String())
+	}
+
+	// Uninstalling the hook cancels the forwarder: further denials stay out.
+	vm.SetAudit(nil)
+	n := len(denies)
+	if _, err := k.Open(main.Task(), "secret.txt", kernel.ORead); err == nil {
+		t.Fatal("open of secret file from unlabeled task succeeded")
+	}
+	if len(denies) != n {
+		t.Error("forwarder survived SetAudit(nil)")
+	}
+}
+
 func TestEventKindStrings(t *testing.T) {
-	for k := EvRegionEnter; k <= EvCapabilityDropped; k++ {
+	for k := EvRegionEnter; k <= EvKernelDeny; k++ {
 		if k.String() == "unknown" {
 			t.Errorf("kind %d unnamed", k)
 		}

@@ -135,16 +135,18 @@ func (r *Region) AllocArray(n int, labels *difc.Labels) *Object {
 }
 
 func (r *Region) allocConforms(l difc.Labels) error {
-	if !r.labels.S.SubsetOf(l.S) {
-		return fmt.Errorf("region secrecy %v exceeds object label %v", r.labels.S, l.S)
+	// Region secrecy must flow into the object (an S-only flow check: the
+	// allocating context writes the initial state), and any tags beyond the
+	// region's need the plus capability — the acquisition half of the
+	// label-change rule, same as labeled file creation. Structured errors
+	// give the telemetry layer rule provenance and the offending tag delta.
+	if err := difc.CheckFlow("alloc", difc.Labels{S: r.labels.S}, difc.Labels{S: l.S}); err != nil {
+		return err
 	}
-	if !l.S.SubsetOf(r.caps.Plus().Union(r.labels.S)) {
-		return fmt.Errorf("missing capability for object secrecy %v", l.S)
+	if err := difc.CheckAcquire("alloc", r.labels.S, l.S, r.caps); err != nil {
+		return err
 	}
-	if !l.I.SubsetOf(r.caps.Plus().Union(r.labels.I)) {
-		return fmt.Errorf("missing capability for object integrity %v", l.I)
-	}
-	return nil
+	return difc.CheckAcquire("alloc", r.labels.I, l.I, r.caps)
 }
 
 // CopyAndLabel clones o with new labels (Figure 2). The label change must
@@ -153,9 +155,7 @@ func (r *Region) allocConforms(l difc.Labels) error {
 // paper's use: fields and elements are copied shallowly (they are values
 // or references whose own labels still protect them).
 func (r *Region) CopyAndLabel(o *Object, labels difc.Labels) *Object {
-	if !difc.CanChangeLabels(o.labels, labels, r.caps) {
-		r.check("copyAndLabel", fmt.Errorf("label change %v -> %v not permitted by %v", o.labels, labels, r.caps))
-	}
+	r.check("copyAndLabel", difc.CheckChangeLabels("copyAndLabel", o.labels, labels, r.caps))
 	r.thread.vm.emit(Event{Kind: EvCopyAndLabel, Thread: uint64(r.thread.task.TID), Labels: r.labels, From: o.labels, To: labels})
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -252,7 +252,9 @@ func (t *Thread) dynamicReadBarrier(o *Object) {
 	}
 	t.vm.stats.ReadBarriers.Add(1)
 	if o.labeled {
-		panic(&Violation{Op: "read", Err: fmt.Errorf("labeled object %v accessed outside a security region", o.labels)})
+		err := fmt.Errorf("labeled object %v accessed outside a security region", o.labels)
+		t.vm.emit(Event{Kind: EvViolation, Thread: uint64(t.task.TID), Op: "read", Err: err})
+		panic(&Violation{Op: "read", Err: err})
 	}
 }
 
@@ -263,6 +265,8 @@ func (t *Thread) dynamicWriteBarrier(o *Object) {
 	}
 	t.vm.stats.WriteBarriers.Add(1)
 	if o.labeled {
-		panic(&Violation{Op: "write", Err: fmt.Errorf("labeled object %v accessed outside a security region", o.labels)})
+		err := fmt.Errorf("labeled object %v accessed outside a security region", o.labels)
+		t.vm.emit(Event{Kind: EvViolation, Thread: uint64(t.task.TID), Op: "write", Err: err})
+		panic(&Violation{Op: "write", Err: err})
 	}
 }

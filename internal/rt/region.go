@@ -73,7 +73,7 @@ func (r *Region) RemoveCapability(tag difc.Tag, kind difc.CapKind, global bool) 
 // region's catch block.
 func (r *Region) check(op string, err error) {
 	if err != nil {
-		r.thread.vm.emit(Event{Kind: EvViolation, Thread: uint64(r.thread.task.TID), Labels: r.labels, Err: err})
+		r.thread.vm.emit(Event{Kind: EvViolation, Thread: uint64(r.thread.task.TID), Labels: r.labels, Op: op, Err: err})
 		panic(&Violation{Op: op, Err: err})
 	}
 }

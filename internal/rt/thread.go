@@ -177,8 +177,12 @@ func (t *Thread) ensureSynced() {
 func (t *Thread) Secure(labels difc.Labels, caps difc.CapSet, body func(*Region), catch func(*Region, any)) error {
 	cur := t.Labels()
 	curCaps := t.Caps()
-	if !difc.CanEnterRegion(cur, curCaps, labels, caps) {
-		return fmt.Errorf("rt: cannot enter security region %v %v from %v %v", labels, caps, cur, curCaps)
+	if err := difc.CheckEnterRegion(cur, curCaps, labels, caps); err != nil {
+		// A refused region entry is a denial like any other: record the
+		// structured ChangeError (which names the violated condition and
+		// the offending tags) before reporting it to the caller.
+		t.vm.emit(Event{Kind: EvViolation, Thread: uint64(t.task.TID), Labels: labels, Op: "region-enter", Err: err})
+		return fmt.Errorf("rt: cannot enter security region %v %v from %v %v: %w", labels, caps, cur, curCaps, err)
 	}
 	r := &Region{
 		thread: t,

@@ -25,6 +25,7 @@ import (
 	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
 	"laminar/internal/kernel/lsm"
+	"laminar/internal/telemetry"
 )
 
 // VM is the trusted runtime for one process. It owns a tcb-endorsed kernel
@@ -44,6 +45,15 @@ type VM struct {
 	stats          Stats
 	audit          func(Event)
 	labeledStatics bool
+
+	// rec is the kernel's telemetry recorder (nil when the kernel was
+	// booted WithoutTelemetry): region lifecycle, barrier denials and
+	// declassifications are recorded there alongside the kernel's own
+	// enforcement events (audit.go).
+	rec *telemetry.Recorder
+	// auditCancel unsubscribes the kernel-deny forwarder installed by
+	// SetAudit.
+	auditCancel func()
 }
 
 // Stats counts the dynamic security work the VM performs, feeding the
@@ -83,7 +93,7 @@ func New(k *kernel.Kernel, mod *lsm.Module, owner *kernel.Task) (*VM, *Thread, e
 		return nil, nil, err
 	}
 	mod.RegisterTCBThread(tcb)
-	vm := &VM{k: k, mod: mod, tcb: tcb, statics: newStaticsTable()}
+	vm := &VM{k: k, mod: mod, tcb: tcb, statics: newStaticsTable(), rec: k.Telemetry()}
 	mt := &Thread{vm: vm, task: main, caps: mod.TaskCaps(main)}
 	return vm, mt, nil
 }
@@ -96,6 +106,28 @@ func (vm *VM) Module() *lsm.Module { return vm.mod }
 
 // Stats exposes the VM's dynamic-check counters.
 func (vm *VM) Stats() *Stats { return &vm.stats }
+
+// PublishTelemetry folds the VM's dynamic-check counters into the
+// recorder's free-form metric series. Like the region barriers themselves
+// the counters stay plain atomics on the hot path; this fold runs once
+// per VM at snapshot time (bench/eval teardown). No-op when telemetry is
+// off or the kernel was booted WithoutTelemetry.
+func (vm *VM) PublishTelemetry() {
+	if vm.rec == nil || !vm.rec.Active() {
+		return
+	}
+	add := func(name string, n uint64) {
+		if n > 0 {
+			vm.rec.M.Extra.Get(name).Add(0, n)
+		}
+	}
+	add("rt.regions.entered", vm.stats.RegionsEntered.Load())
+	add("rt.barrier.read", vm.stats.ReadBarriers.Load())
+	add("rt.barrier.write", vm.stats.WriteBarriers.Load())
+	add("rt.barrier.alloc", vm.stats.AllocBarriers.Load())
+	add("rt.barrier.dynamic", vm.stats.DynamicChecks.Load())
+	add("rt.label.syncs", vm.stats.LabelSyncs.Load())
+}
 
 // setKernelLabels pushes labels onto the thread's kernel task using the
 // trusted tcb path, which works regardless of the thread's capabilities

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"laminar/internal/difc"
+)
+
+// Flight-recorder dumps. In-memory events carry labels as intern ids,
+// which are meaningless outside the emitting process; a dump resolves
+// every id to its tag set so laminar-trace can filter, pretty-print and
+// replay the stream from another process entirely. The format is JSONL —
+// one DumpEvent per line — because dumps happen in crash paths where an
+// incremental, append-only encoding beats one big document.
+
+// DumpEvent is the wire form of an Event. Label fields distinguish
+// "empty" ([]) from "unknown / never interned" (null): replay requires
+// known operands and refuses events with null where a label is needed.
+type DumpEvent struct {
+	Seq   uint64 `json:"seq"`
+	TID   uint64 `json:"tid"`
+	Proc  uint64 `json:"proc,omitempty"`
+	Layer string `json:"layer"`
+	Kind  string `json:"kind"`
+	Rule  string `json:"rule,omitempty"`
+	Op    string `json:"op,omitempty"`
+	Check string `json:"check,omitempty"`
+	Site  string `json:"site,omitempty"`
+
+	SrcS []uint64 `json:"src_s"`
+	SrcI []uint64 `json:"src_i"`
+	DstS []uint64 `json:"dst_s"`
+	DstI []uint64 `json:"dst_i"`
+	CapP []uint64 `json:"cap_p"`
+	CapM []uint64 `json:"cap_m"`
+
+	Delta []uint64 `json:"delta,omitempty"`
+	Tag   uint64   `json:"tag,omitempty"`
+	Cap   string   `json:"cap,omitempty"`
+
+	Detail string `json:"detail,omitempty"`
+}
+
+// resolveID renders an intern id as a tag slice: nil when the id is
+// unknown, a non-nil (possibly empty) slice when it resolves.
+func resolveID(id uint64) []uint64 {
+	l, ok := difc.LabelByID(id)
+	if !ok {
+		return nil
+	}
+	tags := l.Tags()
+	out := make([]uint64, 0, len(tags))
+	for _, t := range tags {
+		out = append(out, uint64(t))
+	}
+	return out
+}
+
+func tagsToWire(tags []difc.Tag) []uint64 {
+	if len(tags) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(tags))
+	for i, t := range tags {
+		out[i] = uint64(t)
+	}
+	return out
+}
+
+func wireToLabel(ts []uint64) (difc.Label, bool) {
+	if ts == nil {
+		return difc.Label{}, false
+	}
+	tags := make([]difc.Tag, len(ts))
+	for i, t := range ts {
+		tags[i] = difc.Tag(t)
+	}
+	return difc.NewLabel(tags...), true
+}
+
+// ToDump resolves the event's intern ids into a self-contained wire
+// record.
+func (e Event) ToDump() DumpEvent {
+	d := DumpEvent{
+		Seq:    e.Seq,
+		TID:    e.TID,
+		Proc:   e.Proc,
+		Layer:  e.Layer.String(),
+		Kind:   e.Kind.String(),
+		Op:     e.Op,
+		Check:  e.Check,
+		Site:   e.Site,
+		SrcS:   resolveID(e.SrcS),
+		SrcI:   resolveID(e.SrcI),
+		DstS:   resolveID(e.DstS),
+		DstI:   resolveID(e.DstI),
+		CapP:   resolveID(e.CapP),
+		CapM:   resolveID(e.CapM),
+		Delta:  tagsToWire(e.Delta),
+		Tag:    uint64(e.Tag),
+		Detail: e.Detail,
+	}
+	if e.Rule != RuleNone {
+		d.Rule = e.Rule.String()
+	}
+	if e.Cap != 0 {
+		d.Cap = e.Cap.String()
+	}
+	return d
+}
+
+// ToEvent rebuilds an in-memory event from its wire form, re-interning
+// the label operands in the reading process so SrcLabels/DstLabels/Caps
+// and Replay work on loaded dumps exactly as on live events.
+func (d DumpEvent) ToEvent() Event {
+	e := Event{
+		Seq:    d.Seq,
+		TID:    d.TID,
+		Proc:   d.Proc,
+		Layer:  layerFromString(d.Layer),
+		Kind:   kindFromString(d.Kind),
+		Rule:   ruleFromString(d.Rule),
+		Op:     d.Op,
+		Check:  d.Check,
+		Site:   d.Site,
+		Tag:    difc.Tag(d.Tag),
+		Detail: d.Detail,
+	}
+	intern := func(ts []uint64) uint64 {
+		l, ok := wireToLabel(ts)
+		if !ok {
+			return 0
+		}
+		return difc.Intern(l).InternedID()
+	}
+	e.SrcS, e.SrcI = intern(d.SrcS), intern(d.SrcI)
+	e.DstS, e.DstI = intern(d.DstS), intern(d.DstI)
+	e.CapP, e.CapM = intern(d.CapP), intern(d.CapM)
+	if len(d.Delta) > 0 {
+		e.Delta = make([]difc.Tag, len(d.Delta))
+		for i, t := range d.Delta {
+			e.Delta[i] = difc.Tag(t)
+		}
+	}
+	switch d.Cap {
+	case "+":
+		e.Cap = difc.CapPlus
+	case "-":
+		e.Cap = difc.CapMinus
+	case "+-":
+		e.Cap = difc.CapBoth
+	}
+	return e
+}
+
+// WriteDump writes events as JSONL.
+func WriteDump(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e.ToDump()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Dump writes the recorder's current flight-recorder contents as JSONL.
+func (r *Recorder) Dump(w io.Writer) error {
+	return WriteDump(w, r.Snapshot())
+}
+
+// ReadDump parses a JSONL dump back into events. Blank lines are
+// skipped; a malformed line fails with its line number.
+func ReadDump(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var d DumpEvent
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return nil, fmt.Errorf("telemetry: dump line %d: %w", line, err)
+		}
+		out = append(out, d.ToEvent())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// The flight recorder: a fixed-size, lock-free ring of recent events.
+//
+// Memory model (DESIGN.md §11): the recorder keeps ringShards independent
+// rings, each a power-of-two array of atomic.Pointer[Event] slots plus an
+// atomic write cursor. A writer claims a slot with cursor.Add(1) and
+// publishes the event with a single pointer store; readers Load slots and
+// tolerate torn *ordering* (a concurrent writer may have lapped a slot)
+// but never torn *events*, because each slot swap replaces a whole
+// immutable Event the writer will never touch again. Events are sharded
+// by TID so concurrent tasks do not contend on one cursor, and the
+// recorder-global Seq (assigned in Emit) restores a total order when the
+// shards are merged in Snapshot.
+//
+// The ring never blocks and never allocates beyond the one Event the
+// emitter already built: overwrite is the eviction policy, which is what
+// a flight recorder wants — on a crash the freshest ringShards×ringSize
+// events are still there to dump.
+
+const (
+	ringShards = 8
+	ringSize   = 1 << 10 // events per shard; 8 KiB of pointers
+	ringMask   = ringSize - 1
+)
+
+type ring struct {
+	cursor atomic.Uint64
+	slots  [ringSize]atomic.Pointer[Event]
+}
+
+// record publishes e into the ring shard for its TID.
+func (r *Recorder) record(e *Event) {
+	rg := &r.rings[e.TID%ringShards]
+	slot := rg.cursor.Add(1) - 1
+	rg.slots[slot&ringMask].Store(e)
+}
+
+// Snapshot returns every event currently held by the flight recorder,
+// merged across shards in Seq order. It is safe to call concurrently
+// with writers; events published during the walk may or may not appear.
+func (r *Recorder) Snapshot() []Event {
+	var out []Event
+	for s := range r.rings {
+		rg := &r.rings[s]
+		n := rg.cursor.Load()
+		if n > ringSize {
+			n = ringSize
+		}
+		for i := uint64(0); i < n; i++ {
+			if e := rg.slots[i].Load(); e != nil {
+				out = append(out, *e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Denials returns just the denial events from the flight recorder, in
+// Seq order.
+func (r *Recorder) Denials() []Event {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, e := range all {
+		if e.Kind == KindDeny {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears the flight recorder's rings and sequence counter (metrics
+// are left alone; see Metrics.Reset). Meant for tests and between chaos
+// seeds; not safe against concurrent writers.
+func (r *Recorder) Reset() {
+	r.seq.Store(0)
+	for s := range r.rings {
+		rg := &r.rings[s]
+		rg.cursor.Store(0)
+		for i := range rg.slots {
+			rg.slots[i].Store(nil)
+		}
+	}
+}

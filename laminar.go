@@ -76,6 +76,9 @@ const (
 	EvCopyAndLabel      = rt.EvCopyAndLabel
 	EvCapabilityGained  = rt.EvCapabilityGained
 	EvCapabilityDropped = rt.EvCapabilityDropped
+	// EvKernelDeny reports a kernel/LSM-layer denial for the VM's process,
+	// forwarded from the unified telemetry recorder.
+	EvKernelDeny = rt.EvKernelDeny
 )
 
 // Kernel-facing types for labeled file work.
@@ -138,6 +141,7 @@ func NewSystem(opts ...kernel.Option) *System {
 	mod := lsm.New()
 	k := kernel.New(append([]kernel.Option{kernel.WithSecurityModule(mod)}, opts...)...)
 	mod.InstallSystemIntegrity(k)
+	mod.SetTelemetry(k.Telemetry())
 	return &System{k: k, mod: mod}
 }
 
@@ -153,6 +157,7 @@ func NewSystemWithInjector(inj faultinject.Injector, opts ...kernel.Option) *Sys
 	k := kernel.New(append(base, opts...)...)
 	mod.InstallSystemIntegrity(k)
 	mod.SetFaultInjector(inj)
+	mod.SetTelemetry(k.Telemetry())
 	return &System{k: k, mod: mod}
 }
 

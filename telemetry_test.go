@@ -1,0 +1,141 @@
+// Deny-provenance conformance: every denial the kernel/LSM returns, across
+// the fs, pipe, signal and label-management op families, must land in the
+// telemetry flight ring as a KindDeny event naming the violated rule and
+// the offending tag delta. This is the observability mirror of PR 1's
+// errno-uniformity tests: there we checked *what* a denial looks like to
+// the caller, here we check that no deny path escapes without evidence.
+package laminar_test
+
+import (
+	"testing"
+
+	"laminar"
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+	"laminar/internal/telemetry"
+)
+
+func TestDenyProvenanceAcrossOpFamilies(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	rec.SetLevel(telemetry.LevelDeny)
+	sys := laminar.NewSystem(kernel.WithTelemetry(rec))
+	k := sys.Kernel()
+
+	alice, err := sys.Login("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.Login("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Chdir(alice, "/tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	tag, err := k.AllocTag(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := difc.NewLabel(tag)
+
+	// fs: alice creates a secret file, bob's unlabeled open is denied.
+	fd, err := k.CreateFileLabeled(alice, "secret", 0o600, difc.Labels{S: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(alice, fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(bob, "/tmp/secret", kernel.ORead); err == nil {
+		t.Fatal("unlabeled open of secret file succeeded")
+	}
+
+	// pipe: alice makes an unlabeled pipe, taints herself, then writes —
+	// a write-down the kernel drops silently; the hook denial must still
+	// be recorded.
+	_, w, err := k.Pipe(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetTaskLabel(alice, kernel.Secrecy, secret); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(alice, w, []byte("leak")); err != nil {
+		t.Fatalf("pipe write-down should drop silently, got %v", err)
+	}
+
+	// signal: tainted alice signals unlabeled bob.
+	if err := k.Kill(alice, bob.TID, kernel.SIGUSR1); err == nil {
+		t.Fatal("tainted signal to unlabeled task succeeded")
+	}
+
+	// label change: bob raises alice's tag without holding t+.
+	if err := k.SetTaskLabel(bob, kernel.Secrecy, secret); err == nil {
+		t.Fatal("label raise without capability succeeded")
+	}
+
+	denials := rec.Denials()
+	if len(denials) == 0 {
+		t.Fatal("no denial events recorded")
+	}
+
+	// Each family must have produced at least one denial that names a
+	// real rule and the exact offending tag.
+	type want struct {
+		op   string
+		rule telemetry.Rule
+	}
+	wants := map[string]want{
+		"fs-read":      {op: "read", rule: telemetry.RuleSecrecy},
+		"pipe-write":   {op: "write", rule: telemetry.RuleSecrecy},
+		"signal":       {op: "signal", rule: telemetry.RuleSecrecy},
+		"label-change": {op: "set_task_label", rule: telemetry.RuleLabelChange},
+	}
+	found := map[string]bool{}
+	for _, e := range denials {
+		if e.Rule == telemetry.RuleNone {
+			t.Errorf("denial without rule provenance at %s: %s", e.Site, e.String())
+		}
+		for name, w := range wants {
+			if e.Op != w.op || e.Rule != w.rule {
+				continue
+			}
+			hasTag := false
+			for _, d := range e.Delta {
+				if d == tag {
+					hasTag = true
+				}
+			}
+			if !hasTag {
+				t.Errorf("%s denial delta %v misses offending tag %v", name, e.Delta, tag)
+				continue
+			}
+			if e.Site == "" {
+				t.Errorf("%s denial has no site", name)
+			}
+			found[name] = true
+		}
+	}
+	for name := range wants {
+		if !found[name] {
+			t.Errorf("op family %s: no provenance-carrying denial recorded", name)
+		}
+	}
+
+	// Metrics agree with the ring: denials counted, rules attributed.
+	snap := rec.MetricsSnapshot()
+	if snap.Denials == 0 || len(snap.DenialsByRule) == 0 {
+		t.Errorf("metrics lost the denials: %+v", snap)
+	}
+
+	// LevelOff really is off: further denials leave no trace.
+	rec.SetLevel(telemetry.LevelOff)
+	before := len(rec.Snapshot())
+	if _, err := k.Open(bob, "/tmp/secret", kernel.ORead); err == nil {
+		t.Fatal("unlabeled open of secret file succeeded")
+	}
+	if after := len(rec.Snapshot()); after != before {
+		t.Errorf("LevelOff recorded %d new events", after-before)
+	}
+}

@@ -42,6 +42,9 @@ func main() {
 		concJSON  = flag.String("concjson", "BENCH_concurrency.json", "where -concurrency writes its JSON result")
 		barriers  = flag.Bool("barriers", false, "barrier-reduction table over the optimization corpus")
 		barrJSON  = flag.String("barriersjson", "BENCH_barriers.json", "where -barriers writes its JSON result")
+		netd      = flag.Bool("netd", false, "cross-kernel labeled throughput over localhost TCP (msgs/sec vs payload size, batching on/off)")
+		netdMsgs  = flag.Int("netdmsgs", 4000, "messages per netd cell")
+		netdJSON  = flag.String("netdjson", "BENCH_netd.json", "where -netd writes its JSON result")
 		telem     = flag.Bool("telemetry", false, "telemetry overhead: storms under baseline/off/deny/all recording")
 		telJSON   = flag.String("teljson", "BENCH_telemetry.json", "where -telemetry writes its JSON result")
 		telGate   = flag.Bool("telgate", false, "with -telemetry: exit nonzero if disabled-path overhead exceeds the 2% gate")
@@ -165,6 +168,24 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *barrJSON)
+		}
+	}
+	if *all || *netd {
+		ran = true
+		rep, err := eval.Netd(*netdMsgs, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *netdJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*netdJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *netdJSON)
 		}
 	}
 	if *all || *telem {

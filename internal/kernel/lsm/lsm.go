@@ -165,6 +165,20 @@ func (m *Module) GrantCapability(t *kernel.Task, tag difc.Tag, kind difc.CapKind
 	s.caps = s.caps.Grant(tag, kind)
 }
 
+// AdoptInodeLabels attaches wire-received labels to an inode created by
+// the trusted network transport (kernel.NetSocketAdopted). No local
+// principal creates the accepting end of a cross-kernel channel, so the
+// labeled-create checks do not apply — the labels simply ARE what the
+// peer kernel's handshake declared, and every local Send/Recv on the
+// endpoint is then checked against them by the ordinary hooks. Callers
+// must invoke this before the endpoint is published (the transport does,
+// inside the NetSocketAdopted attach callback), preserving the
+// blobs-before-publication invariant. Socket inodes are never persisted,
+// matching local socketpairs.
+func (m *Module) AdoptInodeLabels(ino *kernel.Inode, labels difc.Labels) {
+	ino.Security = &inodeSec{labels: difc.InternLabels(labels)}
+}
+
 // RegisterTCBThread marks t as the trusted VM thread of its process by
 // endorsing it with the tcb integrity tag. Only the VM's startup path
 // (trusted code) calls this. The process is thereafter allowed to hold

@@ -1,0 +1,117 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+	"laminar/internal/kernel"
+)
+
+// sendOutcome boots a fresh stack, performs one Send in the given
+// condition, and returns the sender-visible signature of the call plus
+// whether the bytes actually arrived at the peer.
+func sendOutcome(t *testing.T, tainted bool, inj faultinject.Injector) (sig string, arrived bool) {
+	t.Helper()
+	m := New()
+	opts := []kernel.Option{kernel.WithSecurityModule(m)}
+	if inj != nil {
+		opts = append(opts, kernel.WithFaultInjector(inj))
+	}
+	k := kernel.New(opts...)
+	m.InstallSystemIntegrity(k)
+	user, err := k.Spawn(k.InitTask(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := k.Socketpair(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tainted {
+		tag, terr := k.AllocTag(user)
+		if terr != nil {
+			t.Fatal(terr)
+		}
+		if err := k.SetTaskLabel(user, kernel.Secrecy, difc.NewLabel(tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, serr := k.Send(user, a, []byte("payload"))
+	sig = fmt.Sprintf("n=%d err=%v", n, serr)
+	if tainted {
+		// Declassify (the allocation granted t⁻) so the probe read is
+		// never itself denied.
+		if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rerr := k.Recv(user, b, make([]byte, 16))
+	return sig, rerr == nil
+}
+
+// TestSendDropIndistinguishableFromDelivery is the silent-drop
+// regression at the syscall boundary: a secrecy-violating Send and a
+// fault-eaten Send must both return EXACTLY what a delivered Send
+// returns — same byte count, same nil error, no errno that a tainted
+// sender could modulate into a covert channel — while the receiver sees
+// nothing.
+func TestSendDropIndistinguishableFromDelivery(t *testing.T) {
+	delivered, arrivedOK := sendOutcome(t, false, nil)
+	if !arrivedOK {
+		t.Fatal("baseline send did not arrive")
+	}
+
+	denied, arrivedDenied := sendOutcome(t, true, nil)
+	if denied != delivered {
+		t.Errorf("policy drop distinguishable: %q vs delivered %q", denied, delivered)
+	}
+	if arrivedDenied {
+		t.Error("secrecy-violating send reached the receiver")
+	}
+
+	plan := faultinject.NewPlan(3)
+	plan.SetRates("socket.send", faultinject.Rates{Error: 1})
+	faulted, arrivedFaulted := sendOutcome(t, false, plan)
+	if faulted != delivered {
+		t.Errorf("fault drop distinguishable: %q vs delivered %q", faulted, delivered)
+	}
+	if arrivedFaulted {
+		t.Error("fault-eaten send reached the receiver")
+	}
+}
+
+// TestRecvDenialIsPlainAccessError pins the receive side: a denied Recv
+// is an ordinary EACCES read denial raised BEFORE the buffer is
+// inspected — whether data has arrived must not change the error, or
+// arrival timing becomes observable to a reader who may not read.
+func TestRecvDenialIsPlainAccessError(t *testing.T) {
+	k, m, user := boot(t)
+	tag, _ := k.AllocTag(user)
+	taint(t, k, m, user, difc.NewLabel(tag))
+	a, b, err := k.Socketpair(user) // connection carries {S:{tag}}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
+		t.Fatal(err)
+	}
+	// Empty buffer: denial, not EAGAIN.
+	buf := make([]byte, 8)
+	if _, rerr := k.Recv(user, b, buf); !errors.Is(rerr, kernel.ErrAccess) {
+		t.Fatalf("denied recv (empty) = %v, want EACCES", rerr)
+	}
+	// Data waiting: the identical denial.
+	taint(t, k, m, user, difc.NewLabel(tag))
+	if _, serr := k.Send(user, a, []byte("x")); serr != nil {
+		t.Fatal(serr)
+	}
+	if err := k.SetTaskLabel(user, kernel.Secrecy, difc.EmptyLabel); err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := k.Recv(user, b, buf); !errors.Is(rerr, kernel.ErrAccess) {
+		t.Fatalf("denied recv (data waiting) = %v, want EACCES", rerr)
+	}
+}

@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+// netBoot boots a kernel with the deterministic tagModule so the labeled
+// net-endpoint creation and per-operation checks are exercised without
+// importing the real lsm (which would cycle).
+func netBoot(t *testing.T) (*Kernel, *Task) {
+	t.Helper()
+	k := New(WithSecurityModule(tagModule{}))
+	return k, k.InitTask()
+}
+
+func TestNetSocketFeedDrain(t *testing.T) {
+	k, init := netBoot(t)
+	fd, f, err := k.NetSocket(init, difc.Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// App sends; the transport drains the approved bytes.
+	if n, err := k.Send(init, fd, []byte("hello")); err != nil || n != 5 {
+		t.Fatalf("send = %d, %v", n, err)
+	}
+	if got := k.NetDrain(f, 0); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("drain = %q", got)
+	}
+	if got := k.NetDrain(f, 0); got != nil {
+		t.Fatalf("second drain = %q, want empty", got)
+	}
+	// Transport feeds; the app receives.
+	if !k.NetFeed(f, []byte("reply")) {
+		t.Fatal("feed rejected")
+	}
+	buf := make([]byte, 16)
+	if n, err := k.Recv(init, fd, buf); err != nil || string(buf[:n]) != "reply" {
+		t.Fatalf("recv = %q, %v", buf[:n], err)
+	}
+}
+
+func TestNetSocketDrainRespectsMax(t *testing.T) {
+	k, init := netBoot(t)
+	fd, f, err := k.NetSocket(init, difc.Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Send(init, fd, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.NetDrain(f, 4); string(got) != "abcd" {
+		t.Fatalf("bounded drain = %q", got)
+	}
+	if got := k.NetDrain(f, 4); string(got) != "ef" {
+		t.Fatalf("remainder drain = %q", got)
+	}
+}
+
+func TestNetSocketDeniedSendNeverReachesWire(t *testing.T) {
+	// A channel the sender may not write to: Send reports success (silent
+	// drop, §5.2) and the transport has nothing to drain — the denied
+	// message must never reach the wire.
+	k, init := netBoot(t)
+	fd, f, err := k.NetSocket(init, difc.Labels{S: difc.NewLabel(denyWriteTag)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := k.Send(init, fd, []byte("secret")); err != nil || n != 6 {
+		t.Fatalf("denied send = %d, %v (must look delivered)", n, err)
+	}
+	if got := k.NetDrain(f, 0); got != nil {
+		t.Fatalf("denied bytes reached the transport: %q", got)
+	}
+}
+
+func TestNetSocketDeniedRecv(t *testing.T) {
+	// Data the receiver may not read stays in the endpoint: the fd-level
+	// Recv check fires before the buffer is inspected.
+	k, init := netBoot(t)
+	fd, f, err := k.NetSocket(init, difc.Labels{S: difc.NewLabel(denyReadTag)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.NetFeed(f, []byte("x")) {
+		t.Fatal("feed rejected")
+	}
+	if _, err := k.Recv(init, fd, make([]byte, 4)); !errors.Is(err, ErrAccessRead) {
+		t.Fatalf("denied recv = %v, want read-denial", err)
+	}
+}
+
+func TestNetSocketAdoptedEndpoint(t *testing.T) {
+	// The accepting side: labels are attached by the trusted transport
+	// before publication, no create check runs, and the per-operation
+	// hooks then govern the endpoint like any local socket.
+	k, init := netBoot(t)
+	f := k.NetSocketAdopted(func(ino *Inode) {
+		ino.Security = difc.Labels{S: difc.NewLabel(denyWriteTag)}
+	})
+	// Data may arrive before any task accepts the channel.
+	if !k.NetFeed(f, []byte("early")) {
+		t.Fatal("feed before install rejected")
+	}
+	fd := k.InstallFile(init, f)
+	buf := make([]byte, 16)
+	if n, err := k.Recv(init, fd, buf); err != nil || string(buf[:n]) != "early" {
+		t.Fatalf("recv = %q, %v", buf[:n], err)
+	}
+	// The adopted labels still bind local writers: a denied Send drops.
+	if n, err := k.Send(init, fd, []byte("up")); err != nil || n != 2 {
+		t.Fatalf("send = %d, %v", n, err)
+	}
+	if got := k.NetDrain(f, 0); got != nil {
+		t.Fatalf("denied send leaked to wire: %q", got)
+	}
+}
+
+func TestNetFeedBackpressure(t *testing.T) {
+	k, init := netBoot(t)
+	_, f, err := k.NetSocket(init, difc.Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.NetFeed(f, make([]byte, pipeCapacity)) {
+		t.Fatal("fill feed rejected")
+	}
+	if k.NetFeed(f, []byte("x")) {
+		t.Fatal("overfull feed accepted; backpressure bit lost")
+	}
+}
+
+func TestSocketpairLabeled(t *testing.T) {
+	k, init := netBoot(t)
+	a, b, err := k.SocketpairLabeled(init, difc.Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Send(init, a, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if n, err := k.Recv(init, b, buf); err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("recv = %q, %v", buf[:n], err)
+	}
+	// Denied labels behave exactly like the remote path's endpoints.
+	da, db, err := k.SocketpairLabeled(init, difc.Labels{S: difc.NewLabel(denyWriteTag)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := k.Send(init, da, []byte("drop")); err != nil || n != 4 {
+		t.Fatalf("denied send = %d, %v", n, err)
+	}
+	if _, err := k.Recv(init, db, buf); !errors.Is(err, ErrAgain) {
+		t.Fatalf("recv after denied send = %v, want EAGAIN", err)
+	}
+}

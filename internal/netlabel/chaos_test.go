@@ -1,0 +1,131 @@
+package netlabel
+
+import (
+	"errors"
+	"testing"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+	"laminar/internal/kernel"
+)
+
+// chaosNetRates is the link-fault mix for the transport chaos runs:
+// frequent frame loss, occasional link kills.
+var chaosNetRates = faultinject.Rates{Error: 0.05, Crash: 0.02}
+
+// TestChaosLinkFaults storms the transport across seeds with faults on
+// every net.* site — dials that fail, handshakes that die midway, flushed
+// batches eaten by the wire, links killed under live channels. The
+// invariants: no panic, no corruption (every byte that arrives is the
+// byte the sender's channel carries), and Close always converges.
+func TestChaosLinkFaults(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		planA := faultinject.NewPlan(seed)
+		planA.SetRates("net.", chaosNetRates)
+		planB := faultinject.NewPlan(seed + 1000)
+		planB.SetRates("net.", chaosNetRates)
+
+		a := bootNode(t, Config{NodeID: 1, Injector: planA})
+		b := bootNode(t, Config{NodeID: 2, Injector: planB})
+
+		// Open a few channels; under fault injection some dials are
+		// allowed to fail closed — those channels simply don't exist.
+		type ch struct {
+			fd   kernel.FD
+			fill byte
+		}
+		var opened []ch
+		for i := 0; i < 4; i++ {
+			fd, err := a.node.Open(a.user, b.node.Addr(), difc.Labels{})
+			if err != nil {
+				if !errors.Is(err, ErrLinkDown) {
+					t.Fatalf("seed %d: open = %v, want success or ErrLinkDown", seed, err)
+				}
+				continue
+			}
+			opened = append(opened, ch{fd: fd, fill: byte('A' + i)})
+		}
+
+		// Blast traffic while pumping both ends. Sends never error — the
+		// channel is unreliable, not the syscall.
+		for round := 0; round < 20; round++ {
+			for _, c := range opened {
+				payload := make([]byte, 100)
+				for j := range payload {
+					payload[j] = c.fill
+				}
+				if n, err := a.k.Send(a.user, c.fd, payload); err != nil || n != len(payload) {
+					t.Fatalf("seed %d: send = %d, %v (sender observed the fault)", seed, n, err)
+				}
+			}
+			a.node.Pump()
+			b.node.Pump()
+		}
+
+		// Drain whatever survived the faulted links: bytes may be missing
+		// (dropped batches, dead conns, lost Opens) but never altered.
+		buf := make([]byte, 4096)
+		for drained := false; !drained; {
+			drained = true
+			b.node.Pump()
+			for {
+				fd, labels, err := b.node.Accept(b.user)
+				if err != nil {
+					break
+				}
+				drained = false
+				if !labels.IsEmpty() {
+					t.Fatalf("seed %d: accepted labels %v, want empty", seed, labels)
+				}
+				for {
+					n, rerr := b.k.Recv(b.user, fd, buf)
+					if rerr != nil {
+						break
+					}
+					first := buf[0]
+					if first < 'A' || first > 'D' {
+						t.Fatalf("seed %d: corrupt byte %q", seed, first)
+					}
+					for _, by := range buf[:n] {
+						if by != first {
+							t.Fatalf("seed %d: interleaved channel data", seed)
+						}
+					}
+				}
+			}
+		}
+		a.node.Close()
+		b.node.Close()
+	}
+}
+
+// TestChaosDialAlwaysFaulted pins the dial site at certain failure: Open
+// must fail closed with ErrLinkDown after bounded retries, never hang.
+func TestChaosDialAlwaysFaulted(t *testing.T) {
+	plan := faultinject.NewPlan(7)
+	plan.SetRates("net.dial", faultinject.Rates{Error: 1})
+	a := bootNode(t, Config{NodeID: 1, Injector: plan})
+	b := bootNode(t, Config{NodeID: 2})
+	if _, err := a.node.Open(a.user, b.node.Addr(), difc.Labels{}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("open over dead wire = %v, want ErrLinkDown", err)
+	}
+	if a.rec.M.FaultTrips.Load() == 0 {
+		t.Error("dial faults left no trip telemetry")
+	}
+}
+
+// TestChaosHandshakeKilled kills the link mid-handshake on the accepting
+// side: the dialer exhausts retries and fails closed; the acceptor
+// records the aborted handshake with LayerNet provenance.
+func TestChaosHandshakeKilled(t *testing.T) {
+	plan := faultinject.NewPlan(11)
+	plan.SetRates("net.handshake", faultinject.Rates{Crash: 1})
+	a := bootNode(t, Config{NodeID: 1})
+	b := bootNode(t, Config{NodeID: 2, Injector: plan})
+	if _, err := a.node.Open(a.user, b.node.Addr(), difc.Labels{}); err == nil {
+		t.Fatal("open succeeded across a link that dies mid-handshake")
+	}
+	if b.rec.M.Denials.Load() == 0 {
+		t.Error("killed handshake left no provenance on the acceptor")
+	}
+}

@@ -1,0 +1,535 @@
+package netlabel
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"laminar/internal/difc"
+	"laminar/internal/faultinject"
+	"laminar/internal/kernel"
+	"laminar/internal/kernel/lsm"
+	"laminar/internal/telemetry"
+)
+
+// Local aliases keep the fault-kind switches readable.
+const (
+	faultNone  = faultinject.None
+	faultError = faultinject.Error
+	faultCrash = faultinject.Crash
+)
+
+// ErrLinkDown reports that every dial attempt to a peer failed (bounded
+// retries with doubling backoff exhausted).
+var ErrLinkDown = errors.New("netlabel: link down")
+
+// Config wires a Node to its kernel.
+type Config struct {
+	// Kernel is the local kernel whose tasks use the channels.
+	Kernel *kernel.Kernel
+	// Module adopts wire labels onto accepted channel inodes. With a nil
+	// module (bare kernel) accepted endpoints are unlabeled.
+	Module *lsm.Module
+	// Injector is the optional deterministic fault injector; it is
+	// consulted at the "net.*" sites (dial, accept, handshake, flush,
+	// frame receive) so the chaos harness can kill links mid-handshake.
+	Injector faultinject.Injector
+	// Recorder overrides the kernel's telemetry recorder for the
+	// transport's own provenance (LayerNet).
+	Recorder *telemetry.Recorder
+	// NodeID identifies this node in handshakes (diagnostic only).
+	NodeID uint64
+
+	// Batching coalesces each flush into a single TCP write.
+	Batching bool
+	// MaxQueue bounds outbound bytes per connection; a full queue stops
+	// channel draining (backpressure) rather than growing without bound.
+	MaxQueue int
+	// DrainChunk is the largest Data-frame payload.
+	DrainChunk int
+	// DialRetries bounds dial attempts beyond the first.
+	DialRetries int
+	// MaxConns caps accepted connections (shed at the door).
+	MaxConns int
+}
+
+// channel is one labeled cross-kernel channel: a local endpoint File
+// plus the (conn, id) pair that addresses its remote half.
+type channel struct {
+	conn     *conn
+	id       uint32
+	file     *kernel.File
+	labels   difc.Labels
+	accepted bool // created by a remote Open
+}
+
+// Node is one kernel's attachment to the labeled network: a listener,
+// a pool of per-peer connections, and the channel table. All policy
+// lives in the kernels at the ends; the Node is trusted transport.
+type Node struct {
+	cfg Config
+	rec *telemetry.Recorder
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	dialed map[string]*conn // connection pool, keyed by peer address
+	conns  []*conn
+	chans  []*channel
+	offers []*channel // accepted channels awaiting Accept
+	closed bool
+
+	// pumpMu serializes Pump so frame application order is well defined
+	// even when tests and a Run loop overlap.
+	pumpMu sync.Mutex
+}
+
+// NewNode builds a node around the kernel; Listen/Open activate it.
+func NewNode(cfg Config) *Node {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = defaultMaxQueue
+	}
+	if cfg.DrainChunk <= 0 {
+		cfg.DrainChunk = defaultDrainChunk
+	}
+	if cfg.DialRetries <= 0 {
+		cfg.DialRetries = defaultDialRetries
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = defaultMaxConns
+	}
+	rec := cfg.Recorder
+	if rec == nil && cfg.Kernel != nil {
+		rec = cfg.Kernel.Telemetry()
+	}
+	return &Node{cfg: cfg, rec: rec, dialed: make(map[string]*conn)}
+}
+
+// Listen starts accepting peer connections on addr (":0" for tests).
+func (n *Node) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return nil
+}
+
+// Addr reports the listener address, for peers to dial.
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// An injected fault at the door is a link killed before the
+		// handshake; the dialer sees a reset and retries.
+		if n.injectAt("net.accept") != faultNone {
+			nc.Close()
+			continue
+		}
+		n.mu.Lock()
+		closed, total := n.closed, len(n.conns)
+		n.mu.Unlock()
+		if closed {
+			nc.Close()
+			return
+		}
+		if total >= n.cfg.MaxConns {
+			n.count("net.accept.shed", 1)
+			nc.Close()
+			continue
+		}
+		n.wg.Add(1)
+		go n.handshakeServer(nc)
+	}
+}
+
+// handshakeServer runs the accepting half of the version handshake.
+// Anything unexpected — wrong frame, wrong version, a faulted link —
+// closes the connection fail-closed with LayerNet provenance.
+func (n *Node) handshakeServer(nc net.Conn) {
+	defer n.wg.Done()
+	if n.injectAt("net.handshake") != faultNone {
+		n.deny("netd.handshake", "hello", errors.New("link fault mid-handshake"))
+		nc.Close()
+		return
+	}
+	f, err := readFrameSync(nc, handshakeTimeout)
+	if err != nil {
+		n.deny("netd.handshake", "hello", err)
+		nc.Close()
+		return
+	}
+	if f.Type != FrameHello {
+		n.deny("netd.handshake", "hello", fmt.Errorf("first frame is %s, want hello", f.Type))
+		nc.Close()
+		return
+	}
+	ver, peerID, perr := ParseHello(f.Payload)
+	if perr != nil || f.Version != Version || ver != Version {
+		if perr == nil {
+			perr = fmt.Errorf("peer protocol version %d/%d, want %d", f.Version, ver, Version)
+		}
+		n.deny("netd.handshake", "version", perr)
+		nc.Close()
+		return
+	}
+	if err := writeFrameSync(nc, Frame{Version: Version, Type: FrameHelloAck,
+		Payload: AppendHello(nil, Version, n.cfg.NodeID)}); err != nil {
+		nc.Close()
+		return
+	}
+	c := newConn(n, nc, "", false, peerID)
+	if !n.register(c) {
+		return
+	}
+	n.wg.Add(1)
+	go c.readLoop()
+}
+
+// handshakeClient runs the dialing half.
+func (n *Node) handshakeClient(nc net.Conn, addr string) (*conn, error) {
+	if n.injectAt("net.handshake") != faultNone {
+		nc.Close()
+		return nil, errors.New("netlabel: link fault mid-handshake")
+	}
+	if err := writeFrameSync(nc, Frame{Version: Version, Type: FrameHello,
+		Payload: AppendHello(nil, Version, n.cfg.NodeID)}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	f, err := readFrameSync(nc, handshakeTimeout)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	ver, peerID, perr := ParseHello(f.Payload)
+	if f.Type != FrameHelloAck || perr != nil || f.Version != Version || ver != Version {
+		n.deny("netd.handshake", "version", fmt.Errorf("bad hello-ack (type %s)", f.Type))
+		nc.Close()
+		return nil, fmt.Errorf("%w: handshake rejected", ErrLinkDown)
+	}
+	c := newConn(n, nc, addr, true, peerID)
+	if !n.register(c) {
+		return nil, errors.New("netlabel: node closed")
+	}
+	n.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// register publishes a handshaken connection; false when the node is
+// already closed (the conn is killed).
+func (n *Node) register(c *conn) bool {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.kill()
+		return false
+	}
+	n.conns = append(n.conns, c)
+	if c.addr != "" {
+		n.dialed[c.addr] = c
+	}
+	n.mu.Unlock()
+	return true
+}
+
+// dial returns the pooled connection to addr, establishing one with
+// bounded retries and deterministic doubling backoff when none is live.
+func (n *Node) dial(addr string) (*conn, error) {
+	n.mu.Lock()
+	if c, ok := n.dialed[addr]; ok && !c.isDead() {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	lastErr := error(ErrLinkDown)
+	for attempt := 0; attempt <= n.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoffBase << uint(attempt-1))
+		}
+		if k := n.injectAt("net.dial"); k != faultNone {
+			lastErr = fmt.Errorf("%w: injected %s at net.dial", ErrLinkDown, k)
+			continue
+		}
+		nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := n.handshakeClient(nc, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	n.deny("netd.dial", "connect", lastErr)
+	return nil, lastErr
+}
+
+// Open opens a labeled channel to the peer at addr on behalf of t and
+// returns the local descriptor. Creating the endpoint is a labeled
+// create on the LOCAL kernel — the caller needs the capabilities for the
+// channel labels, checked by InodeInitSecurity — and the labels travel
+// to the peer in the Open frame. Whether anything ever arrives is the
+// channel's business, not the opener's: after this returns, denials and
+// losses are silent.
+func (n *Node) Open(t *kernel.Task, addr string, labels difc.Labels) (kernel.FD, error) {
+	labels = difc.InternLabels(labels)
+	c, err := n.dial(addr)
+	if err != nil {
+		return -1, err
+	}
+	fd, file, err := n.cfg.Kernel.NetSocket(t, labels)
+	if err != nil {
+		return -1, err
+	}
+	id := c.allocChan()
+	ch := &channel{conn: c, id: id, file: file, labels: labels}
+	n.mu.Lock()
+	n.chans = append(n.chans, ch)
+	n.mu.Unlock()
+	if !c.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameOpen,
+		Channel: id, Payload: AppendLabels(nil, labels)})) {
+		// Queue full or link already dead: the Open is lost in flight.
+		// The descriptor still exists; its sends just never arrive —
+		// indistinguishable, by design, from a flaky network.
+		n.count("net.open.dropped", 1)
+	}
+	c.flush()
+	return fd, nil
+}
+
+// Accept claims the oldest channel a peer has opened toward this node,
+// installing its endpoint in t. kernel.ErrAgain when none is pending.
+// The channel's labels came from the wire; t's ability to actually read
+// or write the endpoint is checked per operation by the LSM, exactly as
+// for a local socket.
+func (n *Node) Accept(t *kernel.Task) (kernel.FD, difc.Labels, error) {
+	n.mu.Lock()
+	if len(n.offers) == 0 {
+		n.mu.Unlock()
+		return -1, difc.Labels{}, kernel.ErrAgain
+	}
+	ch := n.offers[0]
+	n.offers = n.offers[1:]
+	n.mu.Unlock()
+	return n.cfg.Kernel.InstallFile(t, ch.file), ch.labels, nil
+}
+
+// Pump applies received frames and ships approved outbound bytes: the
+// transport's event loop, driven explicitly so tests control ordering
+// (Run wraps it for daemons). Returns the number of frames moved in
+// either direction; zero means quiescent.
+func (n *Node) Pump() int {
+	n.pumpMu.Lock()
+	defer n.pumpMu.Unlock()
+	n.mu.Lock()
+	conns := append([]*conn(nil), n.conns...)
+	n.mu.Unlock()
+	work := 0
+	for _, c := range conns {
+		for _, f := range c.takeInbox() {
+			work++
+			n.apply(c, f)
+		}
+	}
+	n.mu.Lock()
+	chans := append([]*channel(nil), n.chans...)
+	n.mu.Unlock()
+	for _, ch := range chans {
+		// Drain bytes the sender's Send check already approved into Data
+		// frames, stopping at the connection's queue bound: backpressure
+		// leaves the rest in the endpoint buffer, where a full buffer
+		// makes further sends drop silently — the same unreliable-channel
+		// behaviour a slow local reader causes.
+		for {
+			space := ch.conn.queueSpace() - HeaderSize
+			if space <= 0 {
+				break
+			}
+			chunk := n.cfg.DrainChunk
+			if chunk > space {
+				chunk = space
+			}
+			data := n.cfg.Kernel.NetDrain(ch.file, chunk)
+			if len(data) == 0 {
+				break
+			}
+			ch.conn.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameData,
+				Channel: ch.id, Payload: data}))
+			work++
+		}
+	}
+	for _, c := range conns {
+		c.flush()
+	}
+	return work
+}
+
+// apply processes one received frame.
+func (n *Node) apply(c *conn, f Frame) {
+	switch f.Type {
+	case FrameOpen:
+		// A faulted receive loses the Open: the channel never
+		// materializes on this side, and the opener cannot tell.
+		if n.injectAt("net.open.recv") != faultNone {
+			n.count("net.open.lost", 1)
+			return
+		}
+		labels, _, err := ParseLabels(f.Payload)
+		if err != nil {
+			n.deny("netd.open", "labels", err)
+			c.kill()
+			return
+		}
+		labels = difc.InternLabels(labels)
+		file := n.cfg.Kernel.NetSocketAdopted(func(ino *kernel.Inode) {
+			if n.cfg.Module != nil {
+				n.cfg.Module.AdoptInodeLabels(ino, labels)
+			}
+		})
+		ch := &channel{conn: c, id: f.Channel, file: file, labels: labels, accepted: true}
+		n.mu.Lock()
+		n.chans = append(n.chans, ch)
+		n.offers = append(n.offers, ch)
+		n.mu.Unlock()
+		n.count("net.open.accepted", 1)
+	case FrameData:
+		switch n.injectAt("net.frame.recv") {
+		case faultError:
+			n.count("net.rx.dropped", 1)
+			return
+		case faultCrash:
+			c.kill()
+			return
+		}
+		ch := n.findChan(c, f.Channel)
+		if ch == nil {
+			// Data for a channel this side never saw (lost Open, or one
+			// closed underneath): dropped, silently.
+			n.count("net.rx.unknown-channel", 1)
+			return
+		}
+		if n.cfg.Kernel.NetFeed(ch.file, f.Payload) {
+			n.count("net.rx.frames", 1)
+		} else {
+			n.count("net.rx.overflow", 1)
+		}
+	case FrameClose:
+		n.removeChan(c, f.Channel)
+	default:
+		// Hello frames after the handshake are a protocol violation.
+		n.deny("netd.frame", "unexpected", fmt.Errorf("%s frame outside handshake", f.Type))
+		c.kill()
+	}
+}
+
+func (n *Node) findChan(c *conn, id uint32) *channel {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ch := range n.chans {
+		if ch.conn == c && ch.id == id {
+			return ch
+		}
+	}
+	return nil
+}
+
+func (n *Node) removeChan(c *conn, id uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, ch := range n.chans {
+		if ch.conn == c && ch.id == id {
+			n.chans = append(n.chans[:i], n.chans[i+1:]...)
+			return
+		}
+	}
+}
+
+// Run pumps on a fixed cadence until Close; daemon mode.
+func (n *Node) Run(interval time.Duration) {
+	for {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		n.Pump()
+		time.Sleep(interval)
+	}
+}
+
+// Close tears the node down: listener closed, every link killed, all
+// goroutines joined. In-flight frames are lost, which the semantics
+// already permit.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := append([]*conn(nil), n.conns...)
+	ln := n.ln
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.kill()
+	}
+	n.wg.Wait()
+}
+
+// --- telemetry and fault plumbing ---
+
+// deny records transport-layer provenance (LayerNet): handshake
+// rejections, malformed frames, dead links. Policy denials never come
+// through here — they are emitted by the kernels' own hook wrappers.
+func (n *Node) deny(site, op string, err error) {
+	if n.rec == nil || !n.rec.Active() {
+		return
+	}
+	n.rec.EmitDeny(telemetry.LayerNet, site, op, 0, 0, err)
+}
+
+// count bumps a free-form transport metric.
+func (n *Node) count(name string, delta int) {
+	if n.rec == nil || !n.rec.Active() {
+		return
+	}
+	n.rec.M.Extra.Get(name).Add(0, uint64(delta))
+}
+
+// injectAt consults the fault injector at a transport site, recording
+// the trip. Delay faults yield inside the injector; Error and Crash are
+// interpreted by the call site (drop vs link kill).
+func (n *Node) injectAt(site string) faultinject.Kind {
+	if n.cfg.Injector == nil {
+		return faultNone
+	}
+	k := n.cfg.Injector.At(site)
+	if k == faultError || k == faultCrash {
+		if n.rec != nil && n.rec.Active() {
+			n.rec.EmitFaultTrip(telemetry.LayerNet, site, 0, k.String())
+		}
+	}
+	return k
+}

@@ -35,6 +35,13 @@ const (
 	EvCapabilityGained
 	EvCapabilityDropped
 	EvKernelDeny
+	// EvNetDeny reports a denial recorded by the cross-kernel labeled
+	// transport (internal/netlabel): handshake rejections, malformed or
+	// version-mismatched frames, and faulted links that failed closed.
+	// Policy denials on remote flows still arrive as EvKernelDeny — the
+	// receiving kernel's LSM checks a remote Recv exactly like a local
+	// one — so EvNetDeny is specifically the transport's own provenance.
+	EvNetDeny
 )
 
 // String names the event kind.
@@ -54,6 +61,8 @@ func (k EventKind) String() string {
 		return "capability-dropped"
 	case EvKernelDeny:
 		return "kernel-deny"
+	case EvNetDeny:
+		return "net-deny"
 	default:
 		return "unknown"
 	}
@@ -85,7 +94,7 @@ func (e Event) String() string {
 		return fmt.Sprintf("[tid %d] %s %v%v", e.Thread, e.Kind, e.Tag, e.Cap)
 	case EvViolation:
 		return fmt.Sprintf("[tid %d] %s in %v: %v", e.Thread, e.Kind, e.Labels, e.Err)
-	case EvKernelDeny:
+	case EvKernelDeny, EvNetDeny:
 		return fmt.Sprintf("[tid %d] %s %s: %v", e.Thread, e.Kind, e.Op, e.Err)
 	default:
 		return fmt.Sprintf("[tid %d] %s %v", e.Thread, e.Kind, e.Labels)
@@ -118,11 +127,17 @@ func (vm *VM) SetAudit(fn func(Event)) {
 		if te.Kind != telemetry.KindDeny || te.Proc != proc {
 			return
 		}
-		if te.Layer != telemetry.LayerKernel && te.Layer != telemetry.LayerLSM {
+		var kind EventKind
+		switch te.Layer {
+		case telemetry.LayerKernel, telemetry.LayerLSM:
+			kind = EvKernelDeny
+		case telemetry.LayerNet:
+			kind = EvNetDeny
+		default:
 			return
 		}
 		vm.audit(Event{
-			Kind:   EvKernelDeny,
+			Kind:   kind,
 			Thread: te.TID,
 			Op:     te.Op,
 			Err:    errors.New(te.Detail),

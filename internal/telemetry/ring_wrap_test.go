@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotSeqOrderUnderWraparound laps one TID shard several times
+// over while another shard barely moves, then requires the merged
+// snapshot to be in strict Seq order with no duplicates — the flight
+// recorder's total order must survive per-shard wraparound, or a dumped
+// JSONL is unreadable as a timeline.
+func TestSnapshotSeqOrderUnderWraparound(t *testing.T) {
+	r := NewRecorder()
+	r.SetLevel(LevelDeny)
+
+	const laps = 3
+	slowEvery := ringSize / 2
+	slow := 0
+	for i := 0; i < laps*ringSize; i++ {
+		r.Emit(Event{TID: 0, Layer: LayerKernel, Kind: KindDeny, Site: "wrap.fast", Op: "write"})
+		if i%slowEvery == 0 {
+			// A different shard (TID 1 maps to ring 1) that the fast
+			// shard laps repeatedly.
+			r.Emit(Event{TID: 1, Layer: LayerLSM, Kind: KindDeny, Site: "wrap.slow", Op: "read"})
+			slow++
+		}
+	}
+
+	evs := r.Snapshot()
+	wantLen := ringSize + slow // fast shard retains its freshest ringSize; slow shard everything
+	if len(evs) != wantLen {
+		t.Fatalf("snapshot holds %d events, want %d", len(evs), wantLen)
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for i, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate Seq %d at index %d", e.Seq, i)
+		}
+		seen[e.Seq] = true
+		if i > 0 && e.Seq <= evs[i-1].Seq {
+			t.Fatalf("Seq order broken at index %d: %d after %d", i, e.Seq, evs[i-1].Seq)
+		}
+	}
+	// The lapped shard keeps exactly its newest ringSize events: the
+	// oldest surviving fast event must be from the final lap's window.
+	var oldestFast uint64
+	for _, e := range evs {
+		if e.Site == "wrap.fast" {
+			oldestFast = e.Seq
+			break
+		}
+	}
+	lastSeq := evs[len(evs)-1].Seq
+	if lastSeq-oldestFast >= uint64(ringSize+slow) {
+		t.Fatalf("fast shard retained an event %d sequence numbers old (window %d)", lastSeq-oldestFast, ringSize)
+	}
+
+	// Dump/readback must preserve count and order byte for byte.
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("dump round trip: %d events in, %d out", len(evs), len(back))
+	}
+	for i := range back {
+		if back[i].Seq != evs[i].Seq {
+			t.Fatalf("dump round trip reordered index %d: Seq %d vs %d", i, back[i].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -76,6 +76,7 @@ const (
 	LayerLSM                 // the Laminar security module itself
 	LayerRT                  // the trusted VM runtime (regions, barriers)
 	LayerJVM                 // the MiniJVM substrate
+	LayerNet                 // the cross-kernel labeled transport (netlabel)
 )
 
 // String names the layer.
@@ -89,6 +90,8 @@ func (l Layer) String() string {
 		return "rt"
 	case LayerJVM:
 		return "jvm"
+	case LayerNet:
+		return "net"
 	default:
 		return "unknown"
 	}
@@ -103,6 +106,8 @@ func layerFromString(s string) Layer {
 		return LayerRT
 	case "jvm":
 		return LayerJVM
+	case "net":
+		return LayerNet
 	default:
 		return LayerKernel
 	}

@@ -79,6 +79,10 @@ const (
 	// EvKernelDeny reports a kernel/LSM-layer denial for the VM's process,
 	// forwarded from the unified telemetry recorder.
 	EvKernelDeny = rt.EvKernelDeny
+	// EvNetDeny reports a denial recorded by the cross-kernel labeled
+	// transport (laminar-netd): handshake rejections, malformed frames,
+	// and links that failed closed.
+	EvNetDeny = rt.EvNetDeny
 )
 
 // Kernel-facing types for labeled file work.

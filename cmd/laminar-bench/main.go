@@ -45,6 +45,9 @@ func main() {
 		netd      = flag.Bool("netd", false, "cross-kernel labeled throughput over localhost TCP (msgs/sec vs payload size, batching on/off)")
 		netdMsgs  = flag.Int("netdmsgs", 4000, "messages per netd cell")
 		netdJSON  = flag.String("netdjson", "BENCH_netd.json", "where -netd writes its JSON result")
+		clus      = flag.Bool("cluster", false, "cluster label-plane throughput (msgs/sec vs node count, routed vs direct)")
+		clusMsgs  = flag.Int("clustermsgs", 2000, "messages per cluster cell")
+		clusJSON  = flag.String("clusterjson", "BENCH_cluster.json", "where -cluster writes its JSON result")
 		telem     = flag.Bool("telemetry", false, "telemetry overhead: storms under baseline/off/deny/all recording")
 		telJSON   = flag.String("teljson", "BENCH_telemetry.json", "where -telemetry writes its JSON result")
 		telGate   = flag.Bool("telgate", false, "with -telemetry: exit nonzero if disabled-path overhead exceeds the 2% gate")
@@ -186,6 +189,24 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *netdJSON)
+		}
+	}
+	if *all || *clus {
+		ran = true
+		rep, err := eval.Cluster(*clusMsgs, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *clusJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*clusJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *clusJSON)
 		}
 	}
 	if *all || *telem {

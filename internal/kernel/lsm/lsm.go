@@ -179,6 +179,22 @@ func (m *Module) AdoptInodeLabels(ino *kernel.Inode, labels difc.Labels) {
 	ino.Security = &inodeSec{labels: difc.InternLabels(labels)}
 }
 
+// AdoptTaskLabels sets a relay task's labels to wire-received channel
+// labels, the task-side twin of AdoptInodeLabels. A routed cross-kernel
+// channel is forwarded at each intermediate hop by a relay task the
+// trusted transport spawns for exactly that channel; the relay must run
+// AT the channel's labels so that its Recv from the inbound endpoint and
+// Send to the outbound endpoint — both fully checked by this node's
+// ordinary hooks — re-establish the flow rules at every hop. The relay
+// holds no capabilities for the (remote-minted) tags, so the ordinary
+// SetTaskLabel path cannot express this; like inode adoption, the labels
+// simply ARE what the wire declared, and everything the task then does
+// is checked against them.
+func (m *Module) AdoptTaskLabels(t *kernel.Task, labels difc.Labels) {
+	s := m.taskState(t)
+	s.labels = difc.InternLabels(labels)
+}
+
 // RegisterTCBThread marks t as the trusted VM thread of its process by
 // endorsing it with the tcb integrity tag. Only the VM's startup path
 // (trusted code) calls this. The process is thereafter allowed to hold

@@ -14,13 +14,36 @@ const (
 	dialTimeout      = 2 * time.Second
 	handshakeTimeout = 2 * time.Second
 	writeTimeout     = 5 * time.Second
-	backoffBase      = time.Millisecond // doubles per failed dial attempt
+	backoffBase      = time.Millisecond       // doubles per failed dial attempt
+	backoffMax       = 128 * time.Millisecond // deterministic backoff ceiling
 
 	defaultDialRetries = 3
 	defaultMaxConns    = 64
 	defaultMaxQueue    = 256 * 1024 // outbound bytes per conn before backpressure
 	defaultDrainChunk  = 16 * 1024  // max payload per Data frame
 )
+
+// dialBackoff is the sleep before dial attempt n (the first retry is
+// attempt 1): backoffBase doubling per attempt, saturating at backoffMax.
+// The shift is bounded before it is taken, so arbitrarily large retry
+// budgets (cluster mode re-dials suspects for a whole membership epoch)
+// cannot overflow into a negative or absurd sleep.
+func dialBackoff(attempt int) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	d := backoffBase
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= backoffMax {
+			return backoffMax
+		}
+	}
+	if d > backoffMax {
+		return backoffMax
+	}
+	return d
+}
 
 // conn is one TCP connection to a peer node, after a successful
 // handshake. A reader goroutine decodes inbound frames into an inbox the

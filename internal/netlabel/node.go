@@ -51,9 +51,51 @@ type Config struct {
 	DrainChunk int
 	// DialRetries bounds dial attempts beyond the first.
 	DialRetries int
+	// HandshakeTimeout bounds each synchronous handshake read: a peer
+	// that connects and then stonewalls (half-open) is cut off after this
+	// long, fail-closed. Zero takes the 2s default; tests shrink it.
+	HandshakeTimeout time.Duration
 	// MaxConns caps accepted connections (shed at the door).
 	MaxConns int
+
+	// Control receives the payload of every Ctrl frame, in Pump order.
+	// The transport never interprets control payloads; with a nil handler
+	// they are dropped fail-closed. The cluster label plane
+	// (internal/cluster) carries membership, join negotiation and epoch
+	// announcements here.
+	Control func(peerID uint64, payload []byte)
+	// Routed decides the fate of an OpenRouted frame. The endpoint file
+	// has already been created and label-adopted (per-hop adoption: every
+	// node on a route attaches the wire labels to its own inode before
+	// any verdict). A nil handler drops routed opens fail-closed.
+	Routed func(o RoutedOffer) RoutedAction
 }
+
+// RoutedOffer is one received routed-channel open, handed to the Routed
+// handler with the adopted local endpoint.
+type RoutedOffer struct {
+	PeerID  uint64
+	Channel uint32
+	Labels  difc.Labels
+	Meta    []byte
+	File    *kernel.File
+}
+
+// RoutedAction is the Routed handler's verdict on an offer.
+type RoutedAction int
+
+const (
+	// RoutedDrop discards the open fail-closed: the endpoint is forgotten
+	// and the opener cannot tell a refused route from a lossy link.
+	RoutedDrop RoutedAction = iota
+	// RoutedDeliver queues the channel as an ordinary local offer for
+	// Accept — this node is the route's final destination.
+	RoutedDeliver
+	// RoutedClaim registers the channel for Data delivery but keeps it
+	// out of the Accept queue: the handler owns the File and forwards its
+	// bytes onward (the relay hop).
+	RoutedClaim
+)
 
 // channel is one labeled cross-kernel channel: a local endpoint File
 // plus the (conn, id) pair that addresses its remote half.
@@ -99,6 +141,9 @@ func NewNode(cfg Config) *Node {
 	}
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = defaultMaxConns
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = handshakeTimeout
 	}
 	rec := cfg.Recorder
 	if rec == nil && cfg.Kernel != nil {
@@ -167,7 +212,7 @@ func (n *Node) handshakeServer(nc net.Conn) {
 		nc.Close()
 		return
 	}
-	f, err := readFrameSync(nc, handshakeTimeout)
+	f, err := readFrameSync(nc, n.cfg.HandshakeTimeout)
 	if err != nil {
 		n.deny("netd.handshake", "hello", err)
 		nc.Close()
@@ -180,8 +225,15 @@ func (n *Node) handshakeServer(nc net.Conn) {
 	}
 	ver, peerID, perr := ParseHello(f.Payload)
 	if perr != nil || f.Version != Version || ver != Version {
+		// Full provenance for the rejection: who dialed (address and, when
+		// the payload parsed, the claimed node id) and both version pairs.
+		// laminar-trace explain-denial reconstructs the rejection from
+		// this record alone.
 		if perr == nil {
-			perr = fmt.Errorf("peer protocol version %d/%d, want %d", f.Version, ver, Version)
+			perr = fmt.Errorf("peer %s (node %d) speaks protocol version %d/%d, want %d",
+				nc.RemoteAddr(), peerID, f.Version, ver, Version)
+		} else {
+			perr = fmt.Errorf("peer %s: %w", nc.RemoteAddr(), perr)
 		}
 		n.deny("netd.handshake", "version", perr)
 		nc.Close()
@@ -211,7 +263,7 @@ func (n *Node) handshakeClient(nc net.Conn, addr string) (*conn, error) {
 		nc.Close()
 		return nil, err
 	}
-	f, err := readFrameSync(nc, handshakeTimeout)
+	f, err := readFrameSync(nc, n.cfg.HandshakeTimeout)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -260,7 +312,7 @@ func (n *Node) dial(addr string) (*conn, error) {
 	lastErr := error(ErrLinkDown)
 	for attempt := 0; attempt <= n.cfg.DialRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoffBase << uint(attempt-1))
+			time.Sleep(dialBackoff(attempt))
 		}
 		if k := n.injectAt("net.dial"); k != faultNone {
 			lastErr = fmt.Errorf("%w: injected %s at net.dial", ErrLinkDown, k)
@@ -278,8 +330,12 @@ func (n *Node) dial(addr string) (*conn, error) {
 		}
 		return c, nil
 	}
+	// The cause — refused, timed out half-open, version-rejected, link
+	// fault — goes to telemetry only. The caller sees the bare sentinel,
+	// so a peer that connects and stonewalls is indistinguishable from
+	// one that refuses: failure signals must not become a side channel.
 	n.deny("netd.dial", "connect", lastErr)
-	return nil, lastErr
+	return nil, ErrLinkDown
 }
 
 // Open opens a labeled channel to the peer at addr on behalf of t and
@@ -313,6 +369,76 @@ func (n *Node) Open(t *kernel.Task, addr string, labels difc.Labels) (kernel.FD,
 	}
 	c.flush()
 	return fd, nil
+}
+
+// SendControl ships one opaque control payload to the peer at addr,
+// dialing if no pooled connection is live. Delivery is as reliable as
+// the link: a dead link or full queue loses the payload silently, which
+// the cluster layer's retry discipline (heartbeats re-carry membership)
+// already tolerates.
+func (n *Node) SendControl(addr string, payload []byte) error {
+	c, err := n.dial(addr)
+	if err != nil {
+		return err
+	}
+	if !c.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameCtrl, Payload: payload})) {
+		n.count("net.ctrl.dropped", 1)
+		return nil
+	}
+	c.flush()
+	return nil
+}
+
+// OpenRouted opens a labeled channel whose Open travels with a routing
+// blob for the next hop's Routed handler. The local endpoint is created
+// by t under the full labeled-create checks, exactly as Open — the
+// origin of a route is an ordinary principal.
+func (n *Node) OpenRouted(t *kernel.Task, addr string, labels difc.Labels, meta []byte) (kernel.FD, error) {
+	labels = difc.InternLabels(labels)
+	c, err := n.dial(addr)
+	if err != nil {
+		return -1, err
+	}
+	fd, file, err := n.cfg.Kernel.NetSocket(t, labels)
+	if err != nil {
+		return -1, err
+	}
+	n.sendRoutedOpen(c, file, labels, meta)
+	return fd, nil
+}
+
+// OpenRoutedAdopted opens the onward leg of a route from a relay hop. No
+// local principal creates this endpoint — its labels were adopted on the
+// inbound leg and travel onward verbatim — so the trusted transport
+// attaches them itself, mirroring NetSocketAdopted on the accept side.
+// Per-hop policy is enforced where it belongs: on the relay task's
+// checked Recv/Send between the two adopted endpoints.
+func (n *Node) OpenRoutedAdopted(addr string, labels difc.Labels, meta []byte) (*kernel.File, error) {
+	labels = difc.InternLabels(labels)
+	c, err := n.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	file := n.cfg.Kernel.NetSocketAdopted(func(ino *kernel.Inode) {
+		if n.cfg.Module != nil {
+			n.cfg.Module.AdoptInodeLabels(ino, labels)
+		}
+	})
+	n.sendRoutedOpen(c, file, labels, meta)
+	return file, nil
+}
+
+func (n *Node) sendRoutedOpen(c *conn, file *kernel.File, labels difc.Labels, meta []byte) {
+	id := c.allocChan()
+	ch := &channel{conn: c, id: id, file: file, labels: labels}
+	n.mu.Lock()
+	n.chans = append(n.chans, ch)
+	n.mu.Unlock()
+	if !c.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameOpenRouted,
+		Channel: id, Payload: AppendRoutedOpen(nil, labels, meta)})) {
+		n.count("net.open.dropped", 1)
+	}
+	c.flush()
 }
 
 // Accept claims the oldest channel a peer has opened toward this node,
@@ -433,6 +559,54 @@ func (n *Node) apply(c *conn, f Frame) {
 		}
 	case FrameClose:
 		n.removeChan(c, f.Channel)
+	case FrameCtrl:
+		// Control payloads belong to the layer above; no handler means no
+		// layer, and the payload is dropped fail-closed.
+		if n.cfg.Control == nil {
+			n.count("net.ctrl.unhandled", 1)
+			return
+		}
+		n.cfg.Control(c.peerID, f.Payload)
+	case FrameOpenRouted:
+		if n.injectAt("net.open.recv") != faultNone {
+			n.count("net.open.lost", 1)
+			return
+		}
+		labels, meta, err := ParseRoutedOpen(f.Payload)
+		if err != nil {
+			n.deny("netd.open", "labels", err)
+			c.kill()
+			return
+		}
+		if n.cfg.Routed == nil {
+			n.count("net.open.unrouted", 1)
+			return
+		}
+		labels = difc.InternLabels(labels)
+		file := n.cfg.Kernel.NetSocketAdopted(func(ino *kernel.Inode) {
+			if n.cfg.Module != nil {
+				n.cfg.Module.AdoptInodeLabels(ino, labels)
+			}
+		})
+		ch := &channel{conn: c, id: f.Channel, file: file, labels: labels, accepted: true}
+		switch n.cfg.Routed(RoutedOffer{PeerID: c.peerID, Channel: f.Channel,
+			Labels: labels, Meta: meta, File: file}) {
+		case RoutedDeliver:
+			n.mu.Lock()
+			n.chans = append(n.chans, ch)
+			n.offers = append(n.offers, ch)
+			n.mu.Unlock()
+			n.count("net.open.accepted", 1)
+		case RoutedClaim:
+			n.mu.Lock()
+			n.chans = append(n.chans, ch)
+			n.mu.Unlock()
+			n.count("net.open.relayed", 1)
+		default:
+			// Dropped fail-closed: the endpoint is never published and the
+			// opener cannot distinguish the refusal from a lossy link.
+			n.count("net.open.refused", 1)
+		}
 	default:
 		// Hello frames after the handshake are a protocol violation.
 		n.deny("netd.frame", "unexpected", fmt.Errorf("%s frame outside handshake", f.Type))

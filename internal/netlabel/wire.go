@@ -51,14 +51,28 @@ const (
 type FrameType byte
 
 // Frame types. Hello/HelloAck are only legal during the handshake;
-// Open/Data/Close only after it.
+// Open/Data/Close/Ctrl/OpenRouted only after it.
+//
+// Ctrl frames carry opaque payloads for a layer above the transport (the
+// cluster label plane, internal/cluster): membership heartbeats, join
+// negotiation, epoch announcements. The transport moves them verbatim and
+// never interprets them; a node with no Control handler drops them
+// fail-closed.
+//
+// OpenRouted frames open a channel that an intermediate node forwards
+// toward a final destination. The payload is the channel labels followed
+// by a routing blob the upper layer interprets; a node with no Routed
+// handler drops the open fail-closed, exactly as if the link had eaten
+// it.
 const (
 	FrameHello FrameType = 1 + iota
 	FrameHelloAck
 	FrameOpen
 	FrameData
 	FrameClose
-	frameTypeMax = FrameClose
+	FrameCtrl
+	FrameOpenRouted
+	frameTypeMax = FrameOpenRouted
 )
 
 // String names the frame type.
@@ -74,6 +88,10 @@ func (t FrameType) String() string {
 		return "data"
 	case FrameClose:
 		return "close"
+	case FrameCtrl:
+		return "ctrl"
+	case FrameOpenRouted:
+		return "open-routed"
 	default:
 		return "unknown"
 	}
@@ -190,6 +208,33 @@ func parseLabel(b []byte) (difc.Label, int, error) {
 		return difc.Label{}, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	return l, total, nil
+}
+
+// AppendRoutedOpen encodes an OpenRouted payload: the channel labels in
+// the canonical form, then a length-prefixed opaque routing blob.
+func AppendRoutedOpen(dst []byte, l difc.Labels, meta []byte) []byte {
+	dst = AppendLabels(dst, l)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(meta)))
+	dst = append(dst, n[:]...)
+	return append(dst, meta...)
+}
+
+// ParseRoutedOpen decodes an OpenRouted payload. The meta blob is copied.
+func ParseRoutedOpen(b []byte) (difc.Labels, []byte, error) {
+	labels, n, err := ParseLabels(b)
+	if err != nil {
+		return difc.Labels{}, nil, err
+	}
+	rest := b[n:]
+	if len(rest) < 4 {
+		return difc.Labels{}, nil, fmt.Errorf("%w: truncated routed-open meta header", ErrMalformed)
+	}
+	m := binary.BigEndian.Uint32(rest)
+	if int(m) != len(rest)-4 {
+		return difc.Labels{}, nil, fmt.Errorf("%w: routed-open meta length %d, have %d", ErrMalformed, m, len(rest)-4)
+	}
+	return labels, append([]byte(nil), rest[4:]...), nil
 }
 
 // helloPayload is the handshake body: the speaker's protocol version

@@ -77,6 +77,7 @@ const (
 	LayerRT                  // the trusted VM runtime (regions, barriers)
 	LayerJVM                 // the MiniJVM substrate
 	LayerNet                 // the cross-kernel labeled transport (netlabel)
+	LayerCluster             // the cluster label plane (membership, epochs, changes)
 )
 
 // String names the layer.
@@ -92,6 +93,8 @@ func (l Layer) String() string {
 		return "jvm"
 	case LayerNet:
 		return "net"
+	case LayerCluster:
+		return "cluster"
 	default:
 		return "unknown"
 	}
@@ -108,6 +111,8 @@ func layerFromString(s string) Layer {
 		return LayerJVM
 	case "net":
 		return LayerNet
+	case "cluster":
+		return LayerCluster
 	default:
 		return LayerKernel
 	}
@@ -126,6 +131,7 @@ const (
 	KindCapGained                // a capability was acquired
 	KindCapDropped               // a capability was dropped
 	KindFaultTrip                // the fault injector fired at a site
+	KindLifecycle                // a cluster membership/change transition
 )
 
 // String names the kind.
@@ -147,6 +153,8 @@ func (k Kind) String() string {
 		return "cap-dropped"
 	case KindFaultTrip:
 		return "fault-trip"
+	case KindLifecycle:
+		return "lifecycle"
 	default:
 		return "unknown"
 	}
@@ -154,7 +162,7 @@ func (k Kind) String() string {
 
 // kindFromString parses a dumped kind name.
 func kindFromString(s string) Kind {
-	for k := KindDeny; k <= KindFaultTrip; k++ {
+	for k := KindDeny; k <= KindLifecycle; k++ {
 		if k.String() == s {
 			return k
 		}

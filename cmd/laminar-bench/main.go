@@ -48,6 +48,12 @@ func main() {
 		clus      = flag.Bool("cluster", false, "cluster label-plane throughput (msgs/sec vs node count, routed vs direct)")
 		clusMsgs  = flag.Int("clustermsgs", 2000, "messages per cluster cell")
 		clusJSON  = flag.String("clusterjson", "BENCH_cluster.json", "where -cluster writes its JSON result")
+		vcache    = flag.Bool("verdictcache", false, "verdict-cache + batched-write hot path vs the old per-op protocol")
+		vcTasks   = flag.Int("vctasks", 8, "concurrent writer tasks in the verdict-cache storm")
+		vcWrites  = flag.Int("vcwrites", 16384, "logical writes per task in the verdict-cache storm")
+		vcBatch   = flag.Int("vcbatch", 16, "WriteVec vector length for the vec rows")
+		vcJSON    = flag.String("vcjson", "BENCH_verdictcache.json", "where -verdictcache writes its JSON result")
+		vcGate    = flag.Bool("vcgate", false, "with -verdictcache: exit nonzero if the new-protocol speedup misses the 1.5x gate")
 		telem     = flag.Bool("telemetry", false, "telemetry overhead: storms under baseline/off/deny/all recording")
 		telJSON   = flag.String("teljson", "BENCH_telemetry.json", "where -telemetry writes its JSON result")
 		telGate   = flag.Bool("telgate", false, "with -telemetry: exit nonzero if disabled-path overhead exceeds the 2% gate")
@@ -207,6 +213,29 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *clusJSON)
+		}
+	}
+	if *all || *vcache {
+		ran = true
+		rep, err := eval.VerdictCache(*vcTasks, *vcWrites, *vcBatch, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *vcJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*vcJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *vcJSON)
+		}
+		if *vcGate && !rep.Pass {
+			fmt.Fprintf(os.Stderr, "laminar-bench: verdict-cache headline speedup %.2fx misses the %.2fx gate\n",
+				rep.Headline, rep.GateMin)
+			os.Exit(1)
 		}
 	}
 	if *all || *telem {

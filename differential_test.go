@@ -91,14 +91,21 @@ func diffRun(t *testing.T, opts ...kernel.Option) ([]string, []string, uint64) {
 				k.Close(alice, fd)
 				aliceFiles = append(aliceFiles, path)
 			}
-		case 2: // alice creates an unlabeled file
+		case 2: // alice creates an unlabeled file; odd ops fill it with a
+			// batched vectored write so WriteVec sits under the same
+			// byte-for-byte differential as the scalar path
 			nfile++
 			path := fmt.Sprintf("/home/alice/p%d", nfile)
 			fd, err := k.Open(alice, path, kernel.OWrite|kernel.OCreate)
 			record("create-plain "+path, err)
 			if err == nil {
-				_, werr := k.Write(alice, fd, []byte("plain-"+path))
-				record("fill "+path, werr)
+				if op%2 == 1 {
+					_, werr := k.WriteVec(alice, fd, [][]byte{[]byte("plain-"), []byte(path)})
+					record("fillvec "+path, werr)
+				} else {
+					_, werr := k.Write(alice, fd, []byte("plain-"+path))
+					record("fill "+path, werr)
+				}
 				k.Close(alice, fd)
 			}
 		case 3: // bob probes a secret path: every outcome must be a hidden denial
@@ -281,6 +288,26 @@ func TestDifferentialLockModes(t *testing.T) {
 	diffLines("snapshot", shardSnap, serialSnap)
 	if shardHooks != serialHooks {
 		t.Errorf("hook calls: sharded %d != big lock %d", shardHooks, serialHooks)
+	}
+
+	// Third and fourth replay modes: the same workload with the verdict
+	// cache enabled, in both locking disciplines. The cache memoizes
+	// (subject-epoch, object-epoch, op) verdicts below the hook layer, so
+	// not only every errno and every byte of final state but the total
+	// hook-call count must be indistinguishable from the uncached runs —
+	// a cached verdict is the same immutable error value the slow path
+	// produced, and the hooks still fire on every operation.
+	cacheTrace, cacheSnap, cacheHooks := diffRun(t, kernel.WithVerdictCache())
+	diffLines("cached-trace", shardTrace, cacheTrace)
+	diffLines("cached-snapshot", shardSnap, cacheSnap)
+	if cacheHooks != shardHooks {
+		t.Errorf("hook calls: sharded %d != sharded+cache %d", shardHooks, cacheHooks)
+	}
+	cbTrace, cbSnap, cbHooks := diffRun(t, kernel.WithVerdictCache(), kernel.WithBigLock())
+	diffLines("cached-biglock-trace", shardTrace, cbTrace)
+	diffLines("cached-biglock-snapshot", shardSnap, cbSnap)
+	if cbHooks != shardHooks {
+		t.Errorf("hook calls: sharded %d != biglock+cache %d", shardHooks, cbHooks)
 	}
 
 	// Sanity: the workload actually exercised denials and secrets — a

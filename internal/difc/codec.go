@@ -15,9 +15,10 @@ import (
 // MarshalBinary encodes the label as a length-prefixed list of big-endian
 // 64-bit tags, the layout Laminar stores under security.laminar.* xattrs.
 func (l Label) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 4+8*len(l.tags))
-	binary.BigEndian.PutUint32(buf, uint32(len(l.tags)))
-	for i, t := range l.tags {
+	tags := l.view()
+	buf := make([]byte, 4+8*len(tags))
+	binary.BigEndian.PutUint32(buf, uint32(len(tags)))
+	for i, t := range tags {
 		binary.BigEndian.PutUint64(buf[4+8*i:], uint64(t))
 	}
 	return buf, nil
@@ -43,8 +44,9 @@ func UnmarshalLabel(data []byte) (Label, error) {
 // values ("" for the empty label), the format used in persistent capability
 // files.
 func (l Label) FormatText() string {
-	parts := make([]string, len(l.tags))
-	for i, t := range l.tags {
+	tags := l.view()
+	parts := make([]string, len(tags))
+	for i, t := range tags {
 		parts[i] = strconv.FormatUint(uint64(t), 10)
 	}
 	return strings.Join(parts, ",")

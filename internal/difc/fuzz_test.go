@@ -52,6 +52,123 @@ func FuzzUnmarshalLabel(f *testing.F) {
 	})
 }
 
+// FuzzInlineLabel cross-checks the two physical label representations:
+// the inline value-type form (≤ inlineCap interned tags, no heap slice)
+// and the heap form. Both are built from the same fuzzed tag multiset —
+// NewLabel picks the representation by size, newLabelHeap forces heap —
+// and every observable must agree across all representation pairings:
+// SubsetOf in both directions, Equal, Has, Len, the canonical wire bytes
+// from MarshalBinary, the text form, and the set algebra results. The
+// fuzzer deliberately draws tags from a tiny universe so the inline
+// boundary (4→5 tags) and duplicate-heavy inputs are hit constantly.
+func FuzzInlineLabel(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1}, []byte{1})
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 2})                  // inline vs inline, superset
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 3, 4})         // heap vs inline at the boundary
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, []byte{5, 6, 7, 8})   // heap vs inline, overlap
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, []byte{9})               // dup-heavy collapses to inline
+	f.Fuzz(func(t *testing.T, aRaw, bRaw []byte) {
+		toTags := func(raw []byte) []Tag {
+			if len(raw) > 16 {
+				raw = raw[:16]
+			}
+			tags := make([]Tag, len(raw))
+			for i, b := range raw {
+				tags[i] = Tag(b%11) + 1 // tiny universe: collisions and subsets are common
+			}
+			return tags
+		}
+		aTags, bTags := toTags(aRaw), toTags(bRaw)
+
+		// Model: plain tag-set semantics over maps.
+		toSet := func(tags []Tag) map[Tag]bool {
+			s := map[Tag]bool{}
+			for _, tg := range tags {
+				s[tg] = true
+			}
+			return s
+		}
+		aSet, bSet := toSet(aTags), toSet(bTags)
+		subsetModel := func(x, y map[Tag]bool) bool {
+			for tg := range x {
+				if !y[tg] {
+					return false
+				}
+			}
+			return true
+		}
+
+		aInline, aHeap := NewLabel(aTags...), newLabelHeap(aTags...)
+		bInline, bHeap := NewLabel(bTags...), newLabelHeap(bTags...)
+		aForms := []Label{aInline, aHeap}
+		bForms := []Label{bInline, bHeap}
+
+		wantAB, wantBA := subsetModel(aSet, bSet), subsetModel(bSet, aSet)
+		wantEq := wantAB && wantBA
+		for _, a := range aForms {
+			if a.Len() != len(aSet) {
+				t.Fatalf("Len diverges from model: %d != %d", a.Len(), len(aSet))
+			}
+			for tg := Tag(1); tg <= 12; tg++ {
+				if a.Has(tg) != aSet[tg] {
+					t.Fatalf("Has(%d) diverges from model on %v", tg, a)
+				}
+			}
+			for _, b := range bForms {
+				if got := a.SubsetOf(b); got != wantAB {
+					t.Fatalf("SubsetOf(a⊆b) = %v, model says %v (a=%v b=%v)", got, wantAB, a, b)
+				}
+				if got := b.SubsetOf(a); got != wantBA {
+					t.Fatalf("SubsetOf(b⊆a) = %v, model says %v (a=%v b=%v)", got, wantBA, a, b)
+				}
+				if got := a.Equal(b); got != wantEq {
+					t.Fatalf("Equal = %v, model says %v (a=%v b=%v)", got, wantEq, a, b)
+				}
+			}
+		}
+
+		// Canonical wire bytes and text form must not depend on the
+		// representation: the differential oracle relies on this when it
+		// compares label records across cached and uncached kernels.
+		wireInline, err1 := aInline.MarshalBinary()
+		wireHeap, err2 := aHeap.MarshalBinary()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal failed: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(wireInline, wireHeap) {
+			t.Fatalf("wire bytes depend on representation: %x != %x", wireInline, wireHeap)
+		}
+		if aInline.FormatText() != aHeap.FormatText() {
+			t.Fatalf("text form depends on representation: %q != %q", aInline.FormatText(), aHeap.FormatText())
+		}
+		back, err := UnmarshalLabel(wireInline)
+		if err != nil || !back.Equal(aInline) || !back.Equal(aHeap) {
+			t.Fatalf("wire round trip broke equality: err=%v back=%v", err, back)
+		}
+
+		// Set algebra agrees across representations (compare via Equal,
+		// which itself was just cross-checked against the model).
+		for _, op := range []struct {
+			name string
+			f    func(x, y Label) Label
+		}{
+			{"Union", func(x, y Label) Label { return x.Union(y) }},
+			{"Meet", func(x, y Label) Label { return x.Meet(y) }},
+			{"Minus", func(x, y Label) Label { return x.Minus(y) }},
+		} {
+			want := op.f(aInline, bInline)
+			for _, a := range aForms {
+				for _, b := range bForms {
+					if got := op.f(a, b); !got.Equal(want) {
+						t.Fatalf("%s depends on representation: %v != %v", op.name, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
 func FuzzParseLabelText(f *testing.F) {
 	f.Add("")
 	f.Add("1")

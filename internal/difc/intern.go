@@ -84,25 +84,26 @@ func Intern(l Label) Label {
 	if l.id != 0 {
 		return l
 	}
-	if len(l.tags) == 0 {
+	if l.IsEmpty() {
 		return Label{id: emptyInternID}
 	}
-	sh := internShardFor(l.tags)
-	key := internKey(l.tags)
+	tags := l.view()
+	sh := internShardFor(tags)
+	key := internKey(tags)
 
 	sh.mu.RLock()
 	id, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
 		internHits.Add(1)
-		return Label{tags: l.tags, id: id}
+		return l.withID(id)
 	}
 
 	sh.mu.Lock()
 	if id, ok = sh.m[key]; ok {
 		sh.mu.Unlock()
 		internHits.Add(1)
-		return Label{tags: l.tags, id: id}
+		return l.withID(id)
 	}
 	if sh.m == nil {
 		sh.m = make(map[string]uint64)
@@ -114,9 +115,9 @@ func Intern(l Label) Label {
 	id = internIDs.Add(1)
 	sh.m[key] = id
 	sh.mu.Unlock()
-	internByID.Store(id, Label{tags: l.tags, id: id})
+	internByID.Store(id, l.withID(id))
 	internMisses.Add(1)
-	return Label{tags: l.tags, id: id}
+	return l.withID(id)
 }
 
 // InternedID returns the label's canonical intern id (0 when the label is

@@ -28,39 +28,131 @@ const InvalidTag Tag = 0
 // String formats the tag as t<n> for readable test and log output.
 func (t Tag) String() string { return fmt.Sprintf("t%d", uint64(t)) }
 
+// inlineCap is the largest tag count stored inline in the Label value
+// itself. Real DIFC labels are tiny — a principal's secrecy label is
+// typically one or two tags — so the inline representation covers the
+// hot path without ever touching the heap.
+const inlineCap = 4
+
 // Label is an immutable set of tags. A label is attached to principals and
 // data objects, once for secrecy and once for integrity. The subset
 // relation over labels forms the lattice of Denning's model; the empty
 // label is the lattice bottom and is the implicit label of every unlabeled
 // resource (§3.1).
 //
+// Labels at or below inlineCap tags are stored inline in the value itself
+// (heap == nil, tags in inline[:n]); larger labels spill to a heap slice.
+// The representation is invisible through the API: Equal, SubsetOf and the
+// codecs agree between an inline label and a heap twin with the same tags.
+//
 // The zero value is the empty label and is ready to use.
 type Label struct {
-	// tags is sorted ascending with no duplicates and never mutated after
-	// construction. Methods that "modify" a label return a new one.
-	tags []Tag
+	// heap holds the tags, sorted ascending with no duplicates, when the
+	// label is too large for the inline array. nil means the inline
+	// representation is in use. Never mutated after construction.
+	heap []Tag
 	// id is the canonical intern identity assigned by Intern (intern.go):
 	// 0 means "not interned"; equal nonzero ids imply equal tag sets and
 	// vice versa. Derived labels (Union, Minus, ...) start un-interned.
 	id uint64
+	// sig is a 64-bit membership signature (one hashed bit per tag).
+	// l ⊆ other requires l.sig &^ other.sig == 0, giving SubsetOf and Has
+	// an O(1) rejection path that never consults the tag storage.
+	sig uint64
+	// inline and n hold small tag sets by value; meaningful only when
+	// heap == nil.
+	inline [inlineCap]Tag
+	n      uint8
 }
 
 // EmptyLabel is the label of unlabeled resources: {S()} or {I()}.
 var EmptyLabel = Label{}
 
+// tagBit hashes a tag onto one bit of the signature word.
+func tagBit(t Tag) uint64 {
+	h := uint64(t) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return 1 << (h & 63)
+}
+
+// view returns the label's tags without copying. The result aliases the
+// receiver (the inline array for small labels), so it must not escape or
+// outlive the *Label it came from; every use in this package reads it and
+// drops it within the calling function.
+func (l *Label) view() []Tag {
+	if l.heap != nil {
+		return l.heap
+	}
+	return l.inline[:l.n]
+}
+
+// labelOf builds a label from a sorted, deduplicated, InvalidTag-free
+// slice. Small sets are copied into the inline array and the input slice
+// is not retained; larger sets retain the slice, so callers passing
+// scratch-backed slices must go through labelCopy instead.
+func labelOf(tags []Tag) Label {
+	var l Label
+	if len(tags) == 0 {
+		return l
+	}
+	for _, t := range tags {
+		l.sig |= tagBit(t)
+	}
+	if len(tags) <= inlineCap {
+		l.n = uint8(copy(l.inline[:], tags))
+		return l
+	}
+	l.heap = tags
+	return l
+}
+
+// labelCopy is labelOf for slices the label must not retain (stack
+// scratch): large results are copied to a fresh heap slice first.
+func labelCopy(tags []Tag) Label {
+	if len(tags) > inlineCap {
+		h := make([]Tag, len(tags))
+		copy(h, tags)
+		return labelOf(h)
+	}
+	return labelOf(tags)
+}
+
+// withID returns a copy of l carrying the given intern id.
+func (l Label) withID(id uint64) Label {
+	l.id = id
+	return l
+}
+
 // NewLabel builds a label from the given tags. Duplicates are collapsed and
-// InvalidTag entries are dropped.
+// InvalidTag entries are dropped. Small inputs are normalized entirely on
+// the stack, so constructing the one- and two-tag labels that dominate real
+// workloads performs no allocation.
 func NewLabel(tags ...Tag) Label {
 	if len(tags) == 0 {
 		return Label{}
 	}
-	ts := make([]Tag, 0, len(tags))
+	var scratch [2 * inlineCap]Tag
+	var ts []Tag
+	if len(tags) <= len(scratch) {
+		ts = scratch[:0]
+	} else {
+		ts = make([]Tag, 0, len(tags))
+	}
 	for _, t := range tags {
 		if t != InvalidTag {
 			ts = append(ts, t)
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	if len(ts) <= len(scratch) {
+		// Insertion sort: no closure, no interface, no escape.
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+	} else {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
 	// Dedup in place.
 	out := ts[:0]
 	var prev Tag
@@ -70,42 +162,72 @@ func NewLabel(tags ...Tag) Label {
 		}
 		prev = t
 	}
-	if len(out) == 0 {
-		return Label{}
+	return labelCopy(out)
+}
+
+// newLabelHeap builds a label that uses the heap representation even when
+// the tag set would fit inline. It exists so tests (FuzzInlineLabel) can
+// pit the two representations against each other; nothing else should
+// create small heap labels.
+func newLabelHeap(tags ...Tag) Label {
+	l := NewLabel(tags...)
+	if l.heap == nil && l.n > 0 {
+		h := make([]Tag, l.n)
+		copy(h, l.inline[:l.n])
+		l.heap = h
+		l.n = 0
+		l.inline = [inlineCap]Tag{}
 	}
-	return Label{tags: out}
+	return l
 }
 
 // Len reports the number of tags in the label.
-func (l Label) Len() int { return len(l.tags) }
+func (l Label) Len() int {
+	if l.heap != nil {
+		return len(l.heap)
+	}
+	return int(l.n)
+}
 
 // IsEmpty reports whether the label is the empty (bottom) label.
-func (l Label) IsEmpty() bool { return len(l.tags) == 0 }
+func (l Label) IsEmpty() bool { return l.heap == nil && l.n == 0 }
 
 // Has reports whether tag t is a member of the label.
 func (l Label) Has(t Tag) bool {
-	i := sort.Search(len(l.tags), func(i int) bool { return l.tags[i] >= t })
-	return i < len(l.tags) && l.tags[i] == t
+	if l.sig&tagBit(t) == 0 {
+		return false
+	}
+	v := l.view()
+	i := sort.Search(len(v), func(i int) bool { return v[i] >= t })
+	return i < len(v) && v[i] == t
 }
 
 // Tags returns a copy of the label's tags in ascending order. The copy may
 // be mutated by the caller without affecting the label.
 func (l Label) Tags() []Tag {
-	if len(l.tags) == 0 {
+	v := l.view()
+	if len(v) == 0 {
 		return nil
 	}
-	out := make([]Tag, len(l.tags))
-	copy(out, l.tags)
+	out := make([]Tag, len(v))
+	copy(out, v)
 	return out
 }
 
 // SubsetOf reports whether every tag in l is also in other (l ⊆ other).
-// When both labels are interned (see Intern) the answer is memoized in
-// the process-global flow cache, turning repeated checks over hot label
-// pairs into a single map probe.
+// The signature word rejects most non-subsets in one AND-NOT; surviving
+// inline×inline pairs are resolved by a short merge walk that is cheaper
+// than any cache probe, and larger interned pairs are memoized in the
+// process-global flow cache.
 func (l Label) SubsetOf(other Label) bool {
-	if len(l.tags) > len(other.tags) {
+	if l.sig&^other.sig != 0 {
+		return false // some tag of l hashes outside other's signature
+	}
+	if l.Len() > other.Len() {
 		return false
+	}
+	if l.heap == nil && other.heap == nil {
+		return l.subsetSlow(other)
 	}
 	if l.id != 0 && other.id != 0 {
 		if l.id == other.id {
@@ -123,19 +245,20 @@ func (l Label) SubsetOf(other Label) bool {
 
 // subsetSlow is the uncached sorted-merge subset walk.
 func (l Label) subsetSlow(other Label) bool {
+	a, b := l.view(), other.view()
 	i, j := 0, 0
-	for i < len(l.tags) && j < len(other.tags) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case l.tags[i] == other.tags[j]:
+		case a[i] == b[j]:
 			i++
 			j++
-		case l.tags[i] > other.tags[j]:
+		case a[i] > b[j]:
 			j++
 		default:
 			return false
 		}
 	}
-	return i == len(l.tags)
+	return i == len(a)
 }
 
 // Equal reports whether two labels contain exactly the same tags.
@@ -144,11 +267,15 @@ func (l Label) Equal(other Label) bool {
 		// Intern ids are canonical: equal ids ⇔ equal tag sets.
 		return l.id == other.id
 	}
-	if len(l.tags) != len(other.tags) {
+	if l.sig != other.sig {
 		return false
 	}
-	for i := range l.tags {
-		if l.tags[i] != other.tags[i] {
+	a, b := l.view(), other.view()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -163,25 +290,32 @@ func (l Label) Union(other Label) Label {
 	if other.IsEmpty() {
 		return l
 	}
-	out := make([]Tag, 0, len(l.tags)+len(other.tags))
+	a, b := l.view(), other.view()
+	var scratch [2 * inlineCap]Tag
+	var out []Tag
+	if len(a)+len(b) <= len(scratch) {
+		out = scratch[:0]
+	} else {
+		out = make([]Tag, 0, len(a)+len(b))
+	}
 	i, j := 0, 0
-	for i < len(l.tags) && j < len(other.tags) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case l.tags[i] == other.tags[j]:
-			out = append(out, l.tags[i])
+		case a[i] == b[j]:
+			out = append(out, a[i])
 			i++
 			j++
-		case l.tags[i] < other.tags[j]:
-			out = append(out, l.tags[i])
+		case a[i] < b[j]:
+			out = append(out, a[i])
 			i++
 		default:
-			out = append(out, other.tags[j])
+			out = append(out, b[j])
 			j++
 		}
 	}
-	out = append(out, l.tags[i:]...)
-	out = append(out, other.tags[j:]...)
-	return Label{tags: out}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return labelCopy(out)
 }
 
 // Meet returns the greatest lower bound (intersection) of l and other.
@@ -189,24 +323,28 @@ func (l Label) Meet(other Label) Label {
 	if l.IsEmpty() || other.IsEmpty() {
 		return Label{}
 	}
-	out := make([]Tag, 0, min(len(l.tags), len(other.tags)))
+	a, b := l.view(), other.view()
+	var scratch [2 * inlineCap]Tag
+	var out []Tag
+	if m := min(len(a), len(b)); m <= len(scratch) {
+		out = scratch[:0]
+	} else {
+		out = make([]Tag, 0, m)
+	}
 	i, j := 0, 0
-	for i < len(l.tags) && j < len(other.tags) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case l.tags[i] == other.tags[j]:
-			out = append(out, l.tags[i])
+		case a[i] == b[j]:
+			out = append(out, a[i])
 			i++
 			j++
-		case l.tags[i] < other.tags[j]:
+		case a[i] < b[j]:
 			i++
 		default:
 			j++
 		}
 	}
-	if len(out) == 0 {
-		return Label{}
-	}
-	return Label{tags: out}
+	return labelCopy(out)
 }
 
 // Minus returns the set difference l − other.
@@ -214,16 +352,20 @@ func (l Label) Minus(other Label) Label {
 	if l.IsEmpty() || other.IsEmpty() {
 		return l
 	}
-	out := make([]Tag, 0, len(l.tags))
-	for _, t := range l.tags {
+	a := l.view()
+	var scratch [2 * inlineCap]Tag
+	var out []Tag
+	if len(a) <= len(scratch) {
+		out = scratch[:0]
+	} else {
+		out = make([]Tag, 0, len(a))
+	}
+	for _, t := range a {
 		if !other.Has(t) {
 			out = append(out, t)
 		}
 	}
-	if len(out) == 0 {
-		return Label{}
-	}
-	return Label{tags: out}
+	return labelCopy(out)
 }
 
 // Add returns a new label that also contains t.
@@ -246,7 +388,7 @@ func (l Label) Remove(t Tag) Label {
 func (l Label) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, t := range l.tags {
+	for i, t := range l.view() {
 		if i > 0 {
 			b.WriteByte(',')
 		}

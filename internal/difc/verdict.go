@@ -1,0 +1,99 @@
+package difc
+
+import "sync/atomic"
+
+// VerdictCache memoizes whole access verdicts — the final allow/deny
+// result of a security module's checkAccess, error value included —
+// keyed by (object identity, operation class) and guarded by the label
+// epochs of the subject and the object at the time the verdict was
+// derived. It is the "coarse" cache of the coarse↔fine equivalence:
+// instead of re-deriving a verdict from per-tag subset walks, a repeated
+// same-pair check costs an array probe plus the two epoch loads the
+// caller already performed.
+//
+// Concurrency model: a VerdictCache is owned by exactly one subject
+// (one task's security blob) and is only touched while that subject's
+// kernel entry lock is held, so the slots need no internal locking. The
+// epochs are the synchronization: any label or capability mutation that
+// could change a verdict bumps the owning object's monotonic epoch, and
+// a slot whose recorded epochs no longer match is dead. Epochs are read
+// by the caller BEFORE the verdict is computed, so a mutation racing a
+// fill can only leave a slot keyed to already-stale epochs — it can
+// match no future lookup, never serve a stale verdict.
+//
+// Memory: direct-mapped, fixed slots, no eviction bookkeeping. A
+// colliding store overwrites; forgetting answers only costs recompute.
+const verdictSlots = 128
+
+type verdictSlot struct {
+	obj       uint64 // object identity (inode number); meaningful when full
+	op        uint32 // operation class (access-mask bits)
+	full      bool
+	subjEpoch uint64
+	objEpoch  uint64
+	verdict   error // nil = allow; non-nil = the exact deny error value
+}
+
+// VerdictCache is a per-subject direct-mapped verdict memo table. The
+// zero value is ready to use.
+type VerdictCache struct {
+	slots [verdictSlots]verdictSlot
+}
+
+// NewVerdictCache allocates an empty cache.
+func NewVerdictCache() *VerdictCache { return &VerdictCache{} }
+
+var (
+	verdictHits          atomic.Uint64
+	verdictMisses        atomic.Uint64
+	verdictInvalidations atomic.Uint64
+)
+
+func verdictSlotIndex(obj uint64, op uint32) uint64 {
+	h := obj*0x9e3779b97f4a7c15 + uint64(op)*0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h % verdictSlots
+}
+
+// Lookup returns the memoized verdict for (obj, op) if one was stored
+// under exactly the given subject and object epochs. A slot found with
+// mismatched epochs is a detected invalidation: it is cleared and the
+// lookup misses, forcing the caller to re-derive.
+func (c *VerdictCache) Lookup(obj uint64, op uint32, subjEpoch, objEpoch uint64) (error, bool) {
+	s := &c.slots[verdictSlotIndex(obj, op)]
+	if !s.full || s.obj != obj || s.op != op {
+		verdictMisses.Add(1)
+		return nil, false
+	}
+	if s.subjEpoch != subjEpoch || s.objEpoch != objEpoch {
+		s.full = false
+		verdictInvalidations.Add(1)
+		verdictMisses.Add(1)
+		return nil, false
+	}
+	verdictHits.Add(1)
+	return s.verdict, true
+}
+
+// Store memoizes a verdict derived while the subject and object were at
+// the given epochs. The epochs MUST have been read before the verdict
+// was derived (see the soundness argument above).
+func (c *VerdictCache) Store(obj uint64, op uint32, subjEpoch, objEpoch uint64, verdict error) {
+	c.slots[verdictSlotIndex(obj, op)] = verdictSlot{
+		obj: obj, op: op, full: true,
+		subjEpoch: subjEpoch, objEpoch: objEpoch, verdict: verdict,
+	}
+}
+
+// Flush empties every slot. The next lookups recompute.
+func (c *VerdictCache) Flush() {
+	for i := range c.slots {
+		c.slots[i] = verdictSlot{}
+	}
+}
+
+// VerdictCacheStats reports cumulative hits, misses and detected
+// stale-epoch invalidations across every VerdictCache in the process.
+func VerdictCacheStats() (hits, misses, invalidations uint64) {
+	return verdictHits.Load(), verdictMisses.Load(), verdictInvalidations.Load()
+}

@@ -1,0 +1,173 @@
+package difc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the epoch-invalidated verdict cache. The soundness
+// claim under test: a Lookup hit NEVER returns a verdict derived from
+// label state other than the current one, provided every label mutation
+// bumps the corresponding epoch before the next check — which is exactly
+// the discipline the kernel's SetTaskLabel/relabel paths follow.
+
+var errDenyTest = errors.New("test: flow denied")
+
+// randSmallLabel draws a label over a deliberately tiny tag universe so
+// the same (subject, object) pairs recur with different labels — the
+// adversarial case for a memo table.
+func randSmallLabel(rng *rand.Rand) Label {
+	var tags []Tag
+	for t := Tag(1); t <= 6; t++ {
+		if rng.Intn(2) == 0 {
+			tags = append(tags, t)
+		}
+	}
+	return NewLabel(tags...)
+}
+
+// TestVerdictCacheNeverStale drives a long seeded interleaving of label
+// mutations (with epoch bumps) and checks through one cache, comparing
+// every hit against the verdict recomputed from the current labels. Any
+// mismatch is a stale verdict — the bug the epoch scheme exists to make
+// impossible.
+func TestVerdictCacheNeverStale(t *testing.T) {
+	seed := *difcSeed
+	defer func() {
+		if t.Failed() {
+			t.Logf("seed: %d (rerun with -difc.seed=%d)", seed, seed)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+
+	const (
+		nObjs = 32
+		steps = 20000
+		opRd  = uint32(1)
+		opWr  = uint32(2)
+	)
+	type object struct {
+		label Label
+		epoch uint64
+	}
+	objs := make([]object, nObjs)
+	for i := range objs {
+		objs[i].label = randSmallLabel(rng)
+	}
+	subj := randSmallLabel(rng)
+	var subjEpoch uint64
+
+	// verdictOf is the model: the pure secrecy check the cache memoizes.
+	verdictOf := func(o int, op uint32) error {
+		switch op {
+		case opRd: // reading up: object's secrecy must flow to subject
+			if objs[o].label.SubsetOf(subj) {
+				return nil
+			}
+		default: // writing down: subject's secrecy must flow to object
+			if subj.SubsetOf(objs[o].label) {
+				return nil
+			}
+		}
+		return errDenyTest
+	}
+
+	vc := NewVerdictCache()
+	var hits, misses, mutations int
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(8) {
+		case 0: // subject relabel: bump-before-next-check, like SetTaskLabel
+			subj = randSmallLabel(rng)
+			subjEpoch++
+			mutations++
+		case 1: // object relabel, like AdoptInodeLabels / quarantine
+			o := rng.Intn(nObjs)
+			objs[o].label = randSmallLabel(rng)
+			objs[o].epoch++
+			mutations++
+		default: // a check through the cache
+			o := rng.Intn(nObjs)
+			op := opRd
+			if rng.Intn(2) == 0 {
+				op = opWr
+			}
+			want := verdictOf(o, op)
+			got, ok := vc.Lookup(uint64(o), op, subjEpoch, objs[o].epoch)
+			if ok {
+				hits++
+				if !errors.Is(got, want) && got != want {
+					t.Fatalf("step %d: STALE verdict served: obj %d op %d cached %v, current labels say %v (subj=%s obj=%s)",
+						step, o, op, got, want, subj, objs[o].label)
+				}
+			} else {
+				misses++
+				vc.Store(uint64(o), op, subjEpoch, objs[o].epoch, want)
+				// An immediate re-lookup under unchanged epochs must hit
+				// and return exactly what was stored.
+				again, ok2 := vc.Lookup(uint64(o), op, subjEpoch, objs[o].epoch)
+				if !ok2 || again != want {
+					t.Fatalf("step %d: store-then-lookup lost the verdict: ok=%v got=%v want=%v", step, ok2, again, want)
+				}
+			}
+		}
+	}
+	// Non-vacuity: the interleaving must have exercised all three paths.
+	if hits == 0 || misses == 0 || mutations == 0 {
+		t.Fatalf("degenerate interleaving: hits=%d misses=%d mutations=%d", hits, misses, mutations)
+	}
+	t.Logf("hits=%d misses=%d mutations=%d", hits, misses, mutations)
+}
+
+// TestVerdictCacheEpochMiss pins the invalidation semantics directly:
+// a stored verdict is only served while BOTH epochs match, and an epoch
+// mismatch both misses and clears the slot.
+func TestVerdictCacheEpochMiss(t *testing.T) {
+	vc := NewVerdictCache()
+	vc.Store(7, 1, 10, 20, errDenyTest)
+
+	if v, ok := vc.Lookup(7, 1, 10, 20); !ok || v != errDenyTest {
+		t.Fatalf("exact-epoch lookup missed: ok=%v v=%v", ok, v)
+	}
+	if _, ok := vc.Lookup(7, 1, 11, 20); ok {
+		t.Fatal("hit after subject epoch bump")
+	}
+	// The mismatch above must have evicted the stale entry: even the
+	// original epochs miss now.
+	if _, ok := vc.Lookup(7, 1, 10, 20); ok {
+		t.Fatal("stale entry survived an epoch-mismatch probe")
+	}
+
+	vc.Store(7, 1, 11, 20, nil)
+	if _, ok := vc.Lookup(7, 1, 11, 21); ok {
+		t.Fatal("hit after object epoch bump")
+	}
+	vc.Store(7, 1, 11, 21, nil)
+	if _, ok := vc.Lookup(7, 2, 11, 21); ok {
+		t.Fatal("hit on a different op class")
+	}
+	vc.Store(7, 1, 11, 21, nil)
+	vc.Flush()
+	if _, ok := vc.Lookup(7, 1, 11, 21); ok {
+		t.Fatal("hit after Flush")
+	}
+}
+
+// TestVerdictCacheQuickEpochs is the quick-check form of the epoch rule:
+// for arbitrary keys and epoch pairs, a lookup hits iff the slot holds
+// that exact (obj, op, subj-epoch, obj-epoch) tuple.
+func TestVerdictCacheQuickEpochs(t *testing.T) {
+	prop := func(obj uint64, op uint32, se, oe, se2, oe2 uint64) bool {
+		vc := NewVerdictCache()
+		vc.Store(obj, op, se, oe, errDenyTest)
+		v, ok := vc.Lookup(obj, op, se2, oe2)
+		if se == se2 && oe == oe2 {
+			return ok && v == errDenyTest
+		}
+		return !ok
+	}
+	if err := quick.Check(prop, quickCfg(t, 2000)); err != nil {
+		t.Fatal(err)
+	}
+}

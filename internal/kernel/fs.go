@@ -493,6 +493,147 @@ func (k *Kernel) Write(t *Task, fd FD, data []byte) (int, error) {
 	}
 }
 
+// WriteVec writes the chunks to the descriptor as one batched syscall:
+// one entry-lock acquisition, one descriptor lookup, one security check
+// and one dispatch charge cover the whole vector, amortizing the fixed
+// per-syscall overhead that dominates small writes.
+//
+// Checking the batch with a single verdict is equivalent to per-element
+// checks: the caller's labels and capabilities cannot change while its
+// syscall-entry lock is held (every label mutation path serializes on
+// the same lock, cross-task ones via begin2), and inode security blobs
+// are immutable in place — so all elements of the vector would receive
+// the same answer the first element does.
+//
+// Pipe semantics match Write: an illegal flow or an injected fault
+// silently drops the entire vector and the caller sees success. On
+// regular files an injected fault tears the batch at an element
+// boundary — the first half of the chunks land, the rest are lost, the
+// offset does not advance, and the syscall reports the fault.
+func (k *Kernel) WriteVec(t *Task, fd FD, chunks [][]byte) (int, error) {
+	defer k.begin(t)()
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.Inode.Type == TypePipe && f.pipeReadEnd {
+		return 0, ErrBadF
+	}
+	if f.Inode.Type != TypePipe && f.Flags&OWrite == 0 {
+		return 0, ErrBadF
+	}
+	charge(workWriteDispatch)
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	defer k.lockFile(f)()
+	if f.Inode.Type == TypePipe {
+		charge(len(chunks) * workPipeData)
+		delivered := true
+		if k.sec != nil {
+			k.hook()
+			if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
+				delivered = false
+			}
+		}
+		if err := k.inject("fs.writev", t); err != nil {
+			if errIsKilled(err) {
+				return 0, err
+			}
+			delivered = false
+		}
+		if delivered {
+			unlock := k.lockInode(f.Inode)
+			for _, c := range chunks {
+				f.Inode.pipe.write(c)
+			}
+			unlock()
+		}
+		return total, nil
+	}
+	if k.sec != nil {
+		k.hook()
+		if err := k.sec.FilePermission(t, f, MayWrite); err != nil {
+			return 0, err
+		}
+	}
+	switch f.Inode.Type {
+	case TypeRegular:
+		charge(len(chunks) * workWriteData)
+		ino := f.Inode
+		if err := k.inject("fs.writev", t); err != nil {
+			torn := chunks[:len(chunks)/2]
+			unlock := k.lockInode(ino)
+			off := f.offset
+			for _, c := range torn {
+				end := off + len(c)
+				if end > len(ino.data) {
+					grown := make([]byte, end)
+					copy(grown, ino.data)
+					ino.data = grown
+				}
+				copy(ino.data[off:], c)
+				off = end
+			}
+			unlock()
+			return 0, err
+		}
+		unlock := k.lockInode(ino)
+		end := f.offset + total
+		if end > len(ino.data) {
+			grown := make([]byte, end)
+			copy(grown, ino.data)
+			ino.data = grown
+		}
+		off := f.offset
+		for _, c := range chunks {
+			copy(ino.data[off:], c)
+			off += len(c)
+		}
+		f.offset = end
+		unlock()
+		k.ioWait()
+		return total, nil
+	case TypeDevNull, TypeDevZero:
+		return total, nil
+	default:
+		return 0, ErrInval
+	}
+}
+
+// Precheck runs the security check for mask against each descriptor
+// without moving any data. With the verdict cache enabled this warms the
+// acting task's cache, so a following burst of I/O on the descriptors
+// starts on memoized verdicts (the rt layer issues it on security-region
+// entry). A prefetch IS a check: each descriptor's verdict goes through
+// the full hook surface, telemetry included. The first error (denial or
+// bad descriptor) is returned; callers typically ignore it, since the
+// real operation will re-derive any denial itself.
+func (k *Kernel) Precheck(t *Task, mask AccessMask, fds ...FD) error {
+	defer k.begin(t)()
+	var first error
+	for _, fd := range fds {
+		f, err := t.file(fd)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		if k.sec != nil {
+			unlock := k.lockFile(f)
+			k.hook()
+			err := k.sec.FilePermission(t, f, mask)
+			unlock()
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // Seek resets a regular file's offset.
 func (k *Kernel) Seek(t *Task, fd FD, offset int) error {
 	defer k.begin(t)()

@@ -61,6 +61,11 @@ type Kernel struct {
 	// telOff suppresses the telemetry wrapper entirely (the benchmark
 	// baseline).
 	telOff bool
+
+	// verdictCache records that WithVerdictCache was requested; New
+	// forwards it to the security module when the module supports
+	// epoch-keyed verdict memoization (VerdictCacheConfigurator).
+	verdictCache bool
 }
 
 // Option configures kernel construction.
@@ -85,6 +90,25 @@ func WithFaultInjector(inj faultinject.Injector) Option {
 // Injector exposes the installed fault injector (nil when none); the VM
 // runtime consults it on the tcb label-sync path.
 func (k *Kernel) Injector() faultinject.Injector { return k.inj }
+
+// VerdictCacheConfigurator is implemented by security modules that can
+// memoize whole access verdicts keyed by the kernel's label epochs
+// (Task.LabelEpoch / Inode.LabelEpoch). New calls EnableVerdictCache at
+// boot, before any syscall, when WithVerdictCache was requested.
+type VerdictCacheConfigurator interface {
+	EnableVerdictCache()
+}
+
+// WithVerdictCache turns on epoch-keyed verdict memoization in the
+// installed security module (a no-op for modules that do not implement
+// VerdictCacheConfigurator). Off by default so the unoptimized monitor
+// remains the reference for differential oracles.
+func WithVerdictCache() Option {
+	return func(k *Kernel) { k.verdictCache = true }
+}
+
+// VerdictCacheEnabled reports whether WithVerdictCache was requested.
+func (k *Kernel) VerdictCacheEnabled() bool { return k.verdictCache }
 
 // hook counts one security-hook invocation.
 func (k *Kernel) hook() { k.hookCalls.Add(1) }
@@ -162,6 +186,11 @@ func New(opts ...Option) *Kernel {
 	k := &Kernel{}
 	for _, o := range opts {
 		o(k)
+	}
+	if k.verdictCache {
+		if c, ok := k.rawSec.(VerdictCacheConfigurator); ok {
+			c.EnableVerdictCache()
+		}
 	}
 	wrapFaulting(k)
 	wrapTelemetry(k) // outermost: provenance sees fault-injected denials too

@@ -32,6 +32,15 @@ type taskSec struct {
 	labels    difc.Labels
 	caps      difc.CapSet
 	suspended difc.CapSet
+
+	// vc memoizes this task's access verdicts when the module runs with
+	// the verdict cache enabled (EnableVerdictCache). Allocated lazily on
+	// the first cacheable check; only ever touched under the owning
+	// task's syscall-entry lock, like everything else in the blob. It
+	// needs no explicit invalidation: entries are keyed by the label
+	// epochs of the task and the inode, and every mutation path below
+	// bumps the corresponding epoch.
+	vc *difc.VerdictCache
 }
 
 // inodeSec is the security blob attached to an inode.
@@ -77,6 +86,12 @@ type Module struct {
 	// same labels (§4.1); the module enforces that by refusing label
 	// changes once such a process has more than one thread.
 	tcbProcs sync.Map // proc id (uint64) -> struct{}
+
+	// verdictCache enables epoch-keyed memoization of checkAccess
+	// verdicts (set once at boot via EnableVerdictCache, before any
+	// syscall). Off by default: the uncached monitor is the reference
+	// implementation the differential oracles compare against.
+	verdictCache bool
 }
 
 var _ kernel.SecurityModule = (*Module)(nil)
@@ -96,6 +111,14 @@ func (m *Module) allocate() difc.Tag {
 
 // Name implements kernel.SecurityModule.
 func (m *Module) Name() string { return "laminar" }
+
+// EnableVerdictCache implements kernel.VerdictCacheConfigurator: it turns
+// on per-task verdict memoization. Must be called before the module sees
+// traffic (kernel.New does, when built WithVerdictCache).
+func (m *Module) EnableVerdictCache() { m.verdictCache = true }
+
+// VerdictCacheEnabled reports whether verdict memoization is on.
+func (m *Module) VerdictCacheEnabled() bool { return m.verdictCache }
 
 // TCBTag returns the trusted-VM integrity tag.
 func (m *Module) TCBTag() difc.Tag { return m.tcbTag }
@@ -163,6 +186,9 @@ func (m *Module) InodeLabels(ino *kernel.Inode) difc.Labels { return m.inodeStat
 func (m *Module) GrantCapability(t *kernel.Task, tag difc.Tag, kind difc.CapKind) {
 	s := m.taskState(t)
 	s.caps = s.caps.Grant(tag, kind)
+	// Capabilities feed the unlink could-read fallback, so capability
+	// changes invalidate cached verdicts just like label changes.
+	t.BumpLabelEpoch()
 }
 
 // AdoptInodeLabels attaches wire-received labels to an inode created by
@@ -177,6 +203,7 @@ func (m *Module) GrantCapability(t *kernel.Task, tag difc.Tag, kind difc.CapKind
 // matching local socketpairs.
 func (m *Module) AdoptInodeLabels(ino *kernel.Inode, labels difc.Labels) {
 	ino.Security = &inodeSec{labels: difc.InternLabels(labels)}
+	ino.BumpLabelEpoch()
 }
 
 // AdoptTaskLabels sets a relay task's labels to wire-received channel
@@ -193,6 +220,7 @@ func (m *Module) AdoptInodeLabels(ino *kernel.Inode, labels difc.Labels) {
 func (m *Module) AdoptTaskLabels(t *kernel.Task, labels difc.Labels) {
 	s := m.taskState(t)
 	s.labels = difc.InternLabels(labels)
+	t.BumpLabelEpoch()
 }
 
 // RegisterTCBThread marks t as the trusted VM thread of its process by
@@ -203,6 +231,7 @@ func (m *Module) AdoptTaskLabels(t *kernel.Task, labels difc.Labels) {
 func (m *Module) RegisterTCBThread(t *kernel.Task) {
 	s := m.taskState(t)
 	s.labels.I = difc.Intern(s.labels.I.Add(m.tcbTag))
+	t.BumpLabelEpoch()
 	m.tcbProcs.Store(t.Proc, struct{}{})
 }
 
@@ -220,6 +249,7 @@ func (m *Module) InstallSystemIntegrity(k *kernel.Kernel) {
 	label := func(ino *kernel.Inode) {
 		s := m.inodeState(ino)
 		s.labels = adminLabels
+		ino.BumpLabelEpoch()
 		// Boot labeling runs before any injector is installed; a persist
 		// error here would mean the image itself is broken.
 		_ = m.persistCommit(ino, adminLabels)
@@ -317,7 +347,7 @@ func (m *Module) InodePostCreate(t *kernel.Task, dir, ino *kernel.Inode) error {
 
 // InodePermission enforces the flow rules between the task and the inode.
 func (m *Module) InodePermission(t *kernel.Task, ino *kernel.Inode, mask kernel.AccessMask) error {
-	return m.checkAccess(t, m.inodeState(ino).labels, mask)
+	return m.checkAccess(t, ino, mask)
 }
 
 // FilePermission enforces the flow rules on each file-descriptor
@@ -327,7 +357,7 @@ func (m *Module) FilePermission(t *kernel.Task, f *kernel.File, mask kernel.Acce
 	if _, ok := f.Security.(*fileSec); !ok {
 		f.Security = &fileSec{}
 	}
-	return m.checkAccess(t, m.inodeState(f.Inode).labels, mask)
+	return m.checkAccess(t, f.Inode, mask)
 }
 
 // MmapFile treats a readable mapping as a read flow and a writable mapping
@@ -340,11 +370,41 @@ func (m *Module) MmapFile(t *kernel.Task, ino *kernel.Inode, prot int) error {
 	if prot&kernel.ProtWrite != 0 {
 		mask |= kernel.MayWrite
 	}
-	return m.checkAccess(t, m.inodeState(ino).labels, mask)
+	return m.checkAccess(t, ino, mask)
 }
 
-func (m *Module) checkAccess(t *kernel.Task, obj difc.Labels, mask kernel.AccessMask) error {
+// checkAccess resolves the task-vs-inode flow decision for mask. With the
+// verdict cache enabled, a repeat of a (task, inode, mask) triple whose
+// label epochs have not moved returns the memoized verdict — the exact
+// same error value, so denial provenance (errors.As on *difc.FlowError)
+// and rendered messages are byte-identical to the uncached monitor. The
+// cache sits BELOW every hook wrapper (telemetry, fault injection, hook
+// counting), so the observable event stream is invariant under caching.
+//
+// Soundness: both epochs are read BEFORE the verdict is derived. Task
+// security state only changes under the task's own entry lock (which we
+// hold) or under begin2 with the target locked (so not mid-check); inode
+// labels change only pre-publication or in quiescent recovery, each bump
+// strictly after the relabel. A verdict stored under stale epochs can
+// match no future lookup.
+func (m *Module) checkAccess(t *kernel.Task, ino *kernel.Inode, mask kernel.AccessMask) error {
 	ts := m.taskState(t)
+	if !m.verdictCache {
+		return m.checkAccessSlow(ts, m.inodeState(ino).labels, mask)
+	}
+	se, oe := t.LabelEpoch(), ino.LabelEpoch()
+	if ts.vc == nil {
+		ts.vc = difc.NewVerdictCache()
+	}
+	if verdict, ok := ts.vc.Lookup(uint64(ino.Ino), uint32(mask), se, oe); ok {
+		return verdict
+	}
+	verdict := m.checkAccessSlow(ts, m.inodeState(ino).labels, mask)
+	ts.vc.Store(uint64(ino.Ino), uint32(mask), se, oe, verdict)
+	return verdict
+}
+
+func (m *Module) checkAccessSlow(ts *taskSec, obj difc.Labels, mask kernel.AccessMask) error {
 	// Denial wraps use %w for the difc error too (not %v): the rendered
 	// string is identical, but the structured *difc.FlowError stays
 	// reachable through errors.As, which is how the telemetry layer
@@ -399,6 +459,7 @@ func (m *Module) AllocTag(t *kernel.Task) (difc.Tag, error) {
 	tag := m.allocate()
 	s := m.taskState(t)
 	s.caps = s.caps.Grant(tag, difc.CapBoth)
+	t.BumpLabelEpoch()
 	return tag, nil
 }
 
@@ -432,6 +493,7 @@ func (m *Module) SetTaskLabel(t *kernel.Task, typ kernel.LabelType, l difc.Label
 	} else {
 		s.labels.I = difc.Intern(l)
 	}
+	t.BumpLabelEpoch()
 	return nil
 }
 
@@ -449,6 +511,7 @@ func (m *Module) DropLabelTCB(t, target *kernel.Task) error {
 	}
 	tgt := m.taskState(target)
 	tgt.labels = difc.Labels{}
+	target.BumpLabelEpoch()
 	return nil
 }
 
@@ -467,6 +530,7 @@ func (m *Module) SetLabelTCB(t, target *kernel.Task, labels difc.Labels) error {
 		return fmt.Errorf("%w: set_label_tcb outside caller's process", kernel.ErrPerm)
 	}
 	m.taskState(target).labels = difc.InternLabels(labels)
+	target.BumpLabelEpoch()
 	return nil
 }
 
@@ -486,6 +550,7 @@ func (m *Module) DropCapabilities(t *kernel.Task, caps []kernel.Capability, tmp 
 			s.suspended = s.suspended.Drop(c.Tag, c.Kind)
 		}
 	}
+	t.BumpLabelEpoch()
 	return nil
 }
 
@@ -495,6 +560,7 @@ func (m *Module) RestoreCapabilities(t *kernel.Task) error {
 	s := m.taskState(t)
 	s.caps = s.caps.Union(s.suspended)
 	s.suspended = difc.EmptyCapSet
+	t.BumpLabelEpoch()
 	return nil
 }
 
@@ -544,5 +610,6 @@ func (m *Module) ReadCapability(t *kernel.Task, f *kernel.File) (kernel.Capabili
 	}
 	p := v.(*capPayload)
 	s.caps = s.caps.Grant(p.cap.Tag, p.cap.Kind)
+	t.BumpLabelEpoch()
 	return p.cap, nil
 }

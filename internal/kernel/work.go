@@ -31,6 +31,19 @@ const (
 	workSignal    = 300
 	workReadDir   = 600
 	workXattr     = 500
+
+	// Vectored-write decomposition. A scalar regular-file write's
+	// workRegularIO covers both the fixed syscall overhead (mode switch,
+	// dispatch, fd lookup) and the per-payload data movement; lmbench's
+	// null-I/O number (workDeviceIO) is a good estimate of the fixed
+	// part, leaving the rest as data cost. WriteVec charges the dispatch
+	// quantum once per batch and the data quantum once per element, so a
+	// vector of n chunks costs workWriteDispatch + n*workWriteData
+	// against n*(workWriteDispatch+workWriteData) for n scalar writes —
+	// the same bytes, minus n-1 syscall entries.
+	workWriteDispatch = workDeviceIO                    // 100: fixed per-syscall overhead
+	workWriteData     = workRegularIO - workDeviceIO    // 300: per-chunk regular-file data
+	workPipeData      = workPipeIO - workDeviceIO       // 200: per-chunk pipe data
 )
 
 // workSink defeats dead-code elimination of the spin loop. Accessed

@@ -164,6 +164,10 @@ type MetricsSnapshot struct {
 	FlowCacheEvictions uint64 `json:"flow_cache_evictions"`
 	InternHits         uint64 `json:"intern_hits"`
 	InternMisses       uint64 `json:"intern_misses"`
+
+	VerdictCacheHits          uint64 `json:"verdict_cache_hits"`
+	VerdictCacheMisses        uint64 `json:"verdict_cache_misses"`
+	VerdictCacheInvalidations uint64 `json:"verdict_cache_invalidations"`
 }
 
 // MetricsSnapshot folds the recorder's counters.
@@ -187,6 +191,7 @@ func (r *Recorder) MetricsSnapshot() MetricsSnapshot {
 	}
 	s.FlowCacheHits, s.FlowCacheMisses, s.FlowCacheEvictions = difc.FlowCacheStats()
 	s.InternHits, s.InternMisses = difc.InternStats()
+	s.VerdictCacheHits, s.VerdictCacheMisses, s.VerdictCacheInvalidations = difc.VerdictCacheStats()
 	return s
 }
 
@@ -225,7 +230,10 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 	p("laminar_flow_cache_misses_total %d\n", s.FlowCacheMisses)
 	p("laminar_flow_cache_evictions_total %d\n", s.FlowCacheEvictions)
 	p("laminar_intern_hits_total %d\n", s.InternHits)
-	return p("laminar_intern_misses_total %d\n", s.InternMisses)
+	p("laminar_intern_misses_total %d\n", s.InternMisses)
+	p("laminar_verdict_cache_hits_total %d\n", s.VerdictCacheHits)
+	p("laminar_verdict_cache_misses_total %d\n", s.VerdictCacheMisses)
+	return p("laminar_verdict_cache_invalidations_total %d\n", s.VerdictCacheInvalidations)
 }
 
 func sortedKeys(m map[string]uint64) []string {

@@ -4,18 +4,40 @@
 // barrier-elimination pass computes, and explains every keep/eliminate
 // decision the compiler would make.
 //
-//	laminar-vet vet prog.mjvm [more.mjvm ...]   # region-safety lint
+//	laminar-vet vet [-json] [-strict] prog.mjvm [more.mjvm ...]
 //	laminar-vet summaries prog.mjvm             # per-method dataflow summaries
 //	laminar-vet explain prog.mjvm [-method m]   # per-site barrier decisions
 //
 // vet exits 1 when any non-advisory finding (or verification error) is
-// reported, so it works as a CI gate. Findings are conservative: every
-// access that is guaranteed to be denied at runtime is flagged, and a
-// small documented set of risky-but-legal patterns is reported as
-// advisory.
+// reported, so it works as a CI gate; -json emits the findings as a JSON
+// array (stable rule IDs, method@pc locations) for machine consumption.
+// Findings are conservative: every access that is guaranteed to be
+// denied at runtime is flagged, and a small documented set of
+// risky-but-legal patterns is reported as advisory.
+//
+// Rule IDs (stable, for CI filters):
+//
+//	verify                        the program fails the §5.1 verifier
+//	region-returns-value          security region returns a value
+//	region-param-write            region writes a parameter slot
+//	region-param-value-use        region uses a parameter as a plain value
+//	region-no-catch               region lacks a catch block (advisory)
+//	region-static-read-integrity  static read guaranteed denied (integrity)
+//	region-static-write-secrecy   static write guaranteed denied (secrecy)
+//	region-ref-escape             reference escapes its region
+//	region-outer-write            write to outer object denied (secrecy)
+//	region-outer-read             read of outer object denied (integrity)
+//	region-no-exit                region cannot exit normally
+//	robust-declassification       low-integrity data influences the data,
+//	                              scope, or destination of a declassifier
+//	transparent-endorsement       secret data influences an endorsement
+//	                              decision or a branch guarding one
+//	implicit-flow-fanout          branch on secret data selects between
+//	                              distinguishable public effects
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -62,17 +84,48 @@ func load(path string) (*jvm.Program, error) {
 	return prog, nil
 }
 
-// runVet lints every named file and prints findings one per line,
-// prefixed with the file name. Exit status 1 when any hard (non-advisory)
-// finding or verification failure is seen.
+// jsonFinding is the machine-readable finding schema (-json). Field
+// names are part of the CI contract; keep them stable.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Method   string `json:"method,omitempty"`
+	PC       int    `json:"pc"`
+	InCatch  bool   `json:"inCatch,omitempty"`
+	Rule     string `json:"rule"`
+	Advisory bool   `json:"advisory,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// runVet lints every named file — the structural region rules (Lint) and
+// the interprocedural taint rules (LintTaint) — and prints findings one
+// per line prefixed with the file name, or as a JSON array with -json.
+// Exit status 1 when any hard (non-advisory) finding or verification
+// failure is seen.
 func runVet(args []string) int {
 	fs := flag.NewFlagSet("laminar-vet vet", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "treat advisory findings as errors")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		usage()
 	}
 	hard := 0
+	out := []jsonFinding{}
+	report := func(jf jsonFinding) {
+		switch {
+		case *asJSON:
+			out = append(out, jf)
+		case jf.Method == "": // file-level finding (verifier rejection)
+			fmt.Printf("%s: [%s] %s\n", jf.File, jf.Rule, jf.Msg)
+		default:
+			f := analysis.Finding{Method: jf.Method, PC: jf.PC, InCatch: jf.InCatch,
+				Rule: jf.Rule, Advisory: jf.Advisory, Msg: jf.Msg}
+			fmt.Printf("%s: %s\n", jf.File, f)
+		}
+		if !jf.Advisory || *strict {
+			hard++
+		}
+	}
 	for _, path := range fs.Args() {
 		prog, err := load(path)
 		if err != nil {
@@ -84,15 +137,24 @@ func runVet(args []string) int {
 		// restrictions (§5.1) overlap with the lint rules, and vet must
 		// not crash on programs the runtime would refuse to load.
 		if err := prog.Verify(); err != nil {
-			fmt.Printf("%s: [verify] %v\n", path, err)
-			hard++
+			report(jsonFinding{File: path, PC: -1, Rule: "verify", Msg: err.Error()})
 			continue
 		}
 		for _, f := range analysis.Lint(prog) {
-			fmt.Printf("%s: %s\n", path, f)
-			if !f.Advisory || *strict {
-				hard++
-			}
+			report(jsonFinding{File: path, Method: f.Method, PC: f.PC,
+				InCatch: f.InCatch, Rule: f.Rule, Advisory: f.Advisory, Msg: f.Msg})
+		}
+		for _, f := range analysis.LintTaint(prog) {
+			report(jsonFinding{File: path, Method: f.Method, PC: f.PC,
+				InCatch: f.InCatch, Rule: f.Rule, Advisory: f.Advisory, Msg: f.Msg})
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "laminar-vet:", err)
+			return 1
 		}
 	}
 	if hard > 0 {

@@ -59,6 +59,21 @@ func NewRegistry(required laminar.Tag) *Registry {
 	return &Registry{required: required, modules: make(map[string]*Module)}
 }
 
+// RequiredTag is the integrity tag this registry's endorsement point
+// enforces. Registry.Load and Registry.Invoke are the runtime's
+// endorsement points: the places where low-integrity input crosses into
+// trusted code, and exactly the shape the laminar-vet
+// transparent-endorsement rule checks in guest programs — the decision
+// to endorse must depend only on the endorsement label, never on secret
+// data.
+func (g *Registry) RequiredTag() laminar.Tag { return g.required }
+
+// Endorsed returns the integrity label the registry verified when the
+// module was loaded, or the empty label if the module was never accepted
+// by a registry. The zero value is fail-closed: an unloaded module
+// proves no endorsement.
+func (m *Module) Endorsed() laminar.Label { return m.endorsed }
+
 // ErrNotEndorsed reports a module without the required integrity
 // endorsement.
 var ErrNotEndorsed = fmt.Errorf("declass: module lacks the required integrity endorsement")

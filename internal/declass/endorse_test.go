@@ -1,0 +1,165 @@
+package declass
+
+import (
+	"errors"
+	"testing"
+
+	"laminar"
+	"laminar/internal/jvm"
+	"laminar/internal/jvm/analysis"
+)
+
+// These tests pin the correspondence between the runtime's endorsement
+// points (Registry.Load / Registry.Invoke) and the laminar-vet
+// transparent-endorsement rule: both enforce that the decision to trust
+// low-integrity input is a function of the endorsement evidence alone,
+// never of secret data or of anything else about the module.
+
+// TestLoadVerdictIsTransparent: Load's accept/refuse verdict must depend
+// only on (endorsement label, required tag). Modules with wildly
+// different internals — different policies, different secret labels —
+// get identical verdicts under identical endorsements.
+func TestLoadVerdictIsTransparent(t *testing.T) {
+	_, endorseTag, aTag, _ := setup(t)
+
+	mkModules := func() []*Module {
+		leaky := NewModule("leaky",
+			laminar.Labels{S: laminar.NewLabel(aTag)},
+			laminar.NewCapSet(laminar.NewLabel(aTag), laminar.NewLabel(aTag)),
+			func(r *laminar.Region, cal *laminar.Object) (any, error) {
+				return r.Get(cal, "monday"), nil
+			})
+		inert := NewModule("inert", laminar.Labels{}, laminar.EmptyCapSet,
+			func(r *laminar.Region, cal *laminar.Object) (any, error) {
+				return nil, ErrRefused
+			})
+		return []*Module{leaky, inert}
+	}
+
+	endorsements := []laminar.Label{
+		laminar.NewLabel(endorseTag), // vouched
+		laminar.EmptyLabel,           // unvouched
+		laminar.NewLabel(aTag),       // vouched for the WRONG tag
+	}
+	for i, e := range endorsements {
+		var verdicts []bool
+		for _, m := range mkModules() {
+			reg := NewRegistry(endorseTag)
+			verdicts = append(verdicts, reg.Load(m, e) == nil)
+		}
+		if verdicts[0] != verdicts[1] {
+			t.Errorf("endorsement %d: verdict depends on module internals: %v", i, verdicts)
+		}
+		wantAccept := e.Has(endorseTag)
+		if verdicts[0] != wantAccept {
+			t.Errorf("endorsement %d: accept=%v, want %v (verdict must be a pure function of the endorsement label)", i, verdicts[0], wantAccept)
+		}
+	}
+}
+
+// TestEndorsementAccessorsFailClosed: RequiredTag exposes what the
+// endorsement point enforces, and Endorsed proves nothing until a
+// registry actually accepted the module.
+func TestEndorsementAccessorsFailClosed(t *testing.T) {
+	_, endorseTag, aTag, _ := setup(t)
+	reg := NewRegistry(endorseTag)
+	if got := reg.RequiredTag(); got != endorseTag {
+		t.Fatalf("RequiredTag = %v, want %v", got, endorseTag)
+	}
+	m := aliceModule(aTag)
+	if !m.Endorsed().IsEmpty() {
+		t.Fatalf("unloaded module claims endorsement %v", m.Endorsed())
+	}
+	if err := reg.Load(m, laminar.EmptyLabel); !errors.Is(err, ErrNotEndorsed) {
+		t.Fatalf("unendorsed load = %v", err)
+	}
+	if !m.Endorsed().IsEmpty() {
+		t.Fatalf("refused module claims endorsement %v", m.Endorsed())
+	}
+	if err := reg.Load(m, laminar.NewLabel(endorseTag)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Endorsed().Has(endorseTag) {
+		t.Fatalf("loaded module lost its endorsement: %v", m.Endorsed())
+	}
+}
+
+// TestGuestEndorsementPointMirrorsRegistry: the guest-program analogue of
+// a registry whose Load decision consults secret data. A MiniJVM endorser
+// whose invocation is guarded by a branch on the secret leaks one bit per
+// call through the endorsement itself; the transparent-endorsement rule
+// must flag the call site, mirroring the discipline Load enforces natively.
+func TestGuestEndorsementPointMirrorsRegistry(t *testing.T) {
+	p, err := jvm.Parse(`
+statics 2
+method main args=1 locals=2
+    new 1
+    store 1
+    load 0
+    jmpifnot skip
+    load 1
+    invoke stamp
+skip:
+    return
+end
+secure method stamp args=1 locals=1 integrity=2
+    load 0
+    const 1
+    putfield 0
+    return
+catch:
+    return
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fs := analysis.LintTaint(p)
+	found := false
+	for _, f := range fs {
+		if f.Rule == analysis.RuleTransparentEnd && f.Method == "main" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("secret-guarded endorser not flagged by %s: %v", analysis.RuleTransparentEnd, fs)
+	}
+
+	// The transparent counterpart — endorsement decided by low-integrity
+	// evidence only — is clean, exactly as an honest registry is.
+	clean, err := jvm.Parse(`
+statics 2
+method main args=1 locals=2
+    new 1
+    store 1
+    getstatic 0
+    jmpifnot skip
+    load 1
+    invoke stamp
+skip:
+    return
+end
+secure method stamp args=1 locals=1 integrity=2
+    load 0
+    const 1
+    putfield 0
+    return
+catch:
+    return
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range analysis.LintTaint(clean) {
+		if f.Rule == analysis.RuleTransparentEnd {
+			t.Errorf("transparent endorser falsely flagged: %v", f)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// mutationFields are the security-state fields whose assignment changes
+// what the DIFC checks would decide: task/inode labels, capability sets
+// (active and suspended), and the security blob pointers themselves.
+// Any of them appearing anywhere in an assignment's LHS selector chain
+// marks the statement as a label-mutation site.
+var mutationFields = map[string]bool{
+	"labels":    true,
+	"caps":      true,
+	"suspended": true,
+	"Security":  true,
+}
+
+// EpochBump proves the verdict-cache invalidation discipline: every
+// label-mutation site on a kernel object must be followed, in the same
+// function scope, by a BumpLabelEpoch call. A mutation without a bump
+// leaves epoch-tagged cached verdicts valid for the OLD labels — a
+// silent stale-allow soundness hole (DESIGN.md §14). Sites that mutate
+// a blob before it is published (lazy first-attach, pre-link inits)
+// carry a //govet:fresh directive.
+var EpochBump = &Analyzer{
+	Name: "epochbump",
+	Doc:  "label mutations must bump the verdict-cache epoch in the same scope",
+	AppliesTo: func(path string) bool {
+		return strings.Contains(filepath.ToSlash(path), "internal/kernel/")
+	},
+	Run: runEpochBump,
+}
+
+// selectorChainHits reports whether expr is a selector chain touching
+// one of the mutation fields (s.labels, s.labels.S, ino.Security, ...),
+// returning the deepest matching field name.
+func selectorChainHits(expr ast.Expr) (string, bool) {
+	for {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		if mutationFields[sel.Sel.Name] {
+			return sel.Sel.Name, true
+		}
+		expr = sel.X
+	}
+}
+
+func runEpochBump(f *File) []Finding {
+	var out []Finding
+	for _, sc := range f.scopes() {
+		type mut struct {
+			pos   token.Pos
+			field string
+		}
+		var muts []mut
+		var bumps []token.Pos
+		walkScope(sc.body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if field, ok := selectorChainHits(lhs); ok {
+						if !f.suppressed("fresh", st, sc.decl) {
+							muts = append(muts, mut{pos: st.Pos(), field: field})
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := st.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "BumpLabelEpoch" {
+					bumps = append(bumps, st.Pos())
+				}
+			}
+			return true
+		})
+		for _, m := range muts {
+			covered := false
+			for _, b := range bumps {
+				if b > m.pos {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				out = append(out, Finding{
+					Analyzer: "epochbump",
+					File:     f.Path,
+					Line:     f.Fset.Position(m.pos).Line,
+					Func:     sc.name,
+					Msg: fmt.Sprintf("%s mutates .%s without a later BumpLabelEpoch in the same scope (stale-verdict hole; annotate //govet:fresh if the blob is unpublished)",
+						sc.name, m.field),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -8,7 +8,10 @@
 // something to prove. negative/ holds region-restriction violations:
 // each is flagged by the static lint, and the runnable ones trigger the
 // corresponding runtime denial so tests can tie the static finding to
-// the dynamic behavior it predicts.
+// the dynamic behavior it predicts. taint/ holds the policy-invariant
+// corpus for the interprocedural taint rules (robust-declassification,
+// transparent-endorsement, implicit-flow-fanout): files named *_bad_*
+// are true positives pinned to a method@pc, the rest must lint clean.
 package corpus
 
 import (
@@ -18,7 +21,7 @@ import (
 	"sort"
 )
 
-//go:embed progs/*.mjvm negative/*.mjvm
+//go:embed progs/*.mjvm negative/*.mjvm taint/*.mjvm
 var files embed.FS
 
 func read(dir string) map[string]string {
@@ -42,6 +45,10 @@ func Programs() map[string]string { return read("progs") }
 
 // Negative returns the region-violation corpus, keyed by file name.
 func Negative() map[string]string { return read("negative") }
+
+// Taint returns the policy-invariant corpus for the taint rules, keyed
+// by file name.
+func Taint() map[string]string { return read("taint") }
 
 // Names returns sorted keys, for deterministic iteration in tests and
 // benchmarks.

@@ -139,6 +139,8 @@ func (m *Module) taskState(t *kernel.Task) *taskSec {
 		return s
 	}
 	s := &taskSec{}
+	//govet:fresh — first attach of an empty blob; no labels changed, so no
+	// cached verdict can be stale.
 	t.Security = s
 	return s
 }
@@ -158,6 +160,8 @@ func (m *Module) inodeState(ino *kernel.Inode) *inodeSec {
 	}
 	labels, _ := m.recoverInodeLabels(ino)
 	s := &inodeSec{labels: difc.InternLabels(labels)}
+	//govet:fresh — lazy rebuild before any hook has read the blob; the
+	// epoch was bumped by whoever persisted the labels being recovered.
 	ino.Security = s
 	return s
 }
@@ -274,6 +278,8 @@ func (m *Module) InstallSystemIntegrity(k *kernel.Kernel) {
 
 // TaskAlloc implements fork inheritance: labels copy to the child; the
 // child's capabilities are the parent's restricted to keep (nil = all).
+// The blob is built on a local and attached before the child is
+// runnable, so no verdict for it can predate this (govet:fresh).
 func (m *Module) TaskAlloc(parent, child *kernel.Task, keep []kernel.Capability) error {
 	ps := m.taskState(parent)
 	cs := &taskSec{labels: ps.labels}
@@ -291,13 +297,15 @@ func (m *Module) TaskAlloc(parent, child *kernel.Task, keep []kernel.Capability)
 	return nil
 }
 
-// TaskFree clears the blob at exit.
+// TaskFree clears the blob at exit; the task is already unrunnable and
+// its TID retired, so its cache line dies with it (govet:fresh).
 func (m *Module) TaskFree(t *kernel.Task) { t.Security = nil }
 
 // InodeInitSecurity labels a new inode. With explicit labels it enforces
 // the three labeled-create conditions of §5.2; otherwise the inode takes
 // the creating task's current labels (so a tainted thread's new files are
-// as secret as the thread).
+// as secret as the thread). The hook runs before the entry is linked, so
+// the blob is attached pre-publication (govet:fresh).
 func (m *Module) InodeInitSecurity(t *kernel.Task, dir, ino *kernel.Inode, labels *difc.Labels) error {
 	ts := m.taskState(t)
 	s := &inodeSec{}
@@ -355,6 +363,8 @@ func (m *Module) InodePermission(t *kernel.Task, ino *kernel.Inode, mask kernel.
 // here, on every read and write (§2).
 func (m *Module) FilePermission(t *kernel.Task, f *kernel.File, mask kernel.AccessMask) error {
 	if _, ok := f.Security.(*fileSec); !ok {
+		//govet:fresh — attaches an empty marker blob; fileSec carries no
+		// labels, so no verdict depends on it.
 		f.Security = &fileSec{}
 	}
 	return m.checkAccess(t, f.Inode, mask)
@@ -590,6 +600,9 @@ func (m *Module) WriteCapability(t *kernel.Task, c kernel.Capability, f *kernel.
 			m.tel.EmitDeny(telemetry.LayerLSM, "lsm.WriteCapability.silent-drop",
 				"write_capability", uint64(t.TID), t.Proc, err)
 		}
+		//govet:failopen — the silent success IS the decision: pipe
+		// semantics require the sender to observe success so the verdict
+		// cannot leak information (see the doc comment above).
 		return nil
 	}
 	f.Inode.PushCap(&capPayload{cap: c, sender: s.labels})

@@ -59,9 +59,13 @@ func clusterdiffBoot(t *testing.T, bigLock bool, id uint64, seeds []string,
 	plan := faultinject.NewPlan(seed + int64(id)*7919)
 	plan.SetRates("net.", netdiffRates)
 	plan.SetRates("cluster.ckpt.", clusterdiffCkptRates)
+	// Tracing on: the cluster oracle doubles as the trace covert-channel
+	// oracle one layer up — per-hop trace propagation across routed
+	// relays must leave the verdict stream byte-identical to the
+	// untraced in-process replay.
 	cl := cluster.New(cluster.Config{
 		ID: id, Kernel: s.k, Module: s.mod, Recorder: s.rec,
-		Injector: plan, Store: store, Seeds: seeds,
+		Injector: plan, Store: store, Seeds: seeds, Tracing: true,
 	})
 	if err := cl.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)

@@ -57,6 +57,10 @@ func main() {
 		telem     = flag.Bool("telemetry", false, "telemetry overhead: storms under baseline/off/deny/all recording")
 		telJSON   = flag.String("teljson", "BENCH_telemetry.json", "where -telemetry writes its JSON result")
 		telGate   = flag.Bool("telgate", false, "with -telemetry: exit nonzero if disabled-path overhead exceeds the 2% gate")
+		trace     = flag.Bool("trace", false, "flow-tracing overhead on the netd hot path (bare/off/on)")
+		traceMsgs = flag.Int("tracemsgs", 4000, "messages per trace-bench cell")
+		traceJSON = flag.String("tracejson", "BENCH_trace.json", "where -trace writes its JSON result")
+		traceGate = flag.Bool("tracegate", false, "with -trace: exit nonzero if tracing overhead misses the 1.02x/1.10x gates")
 		scale     = flag.Int("scale", 1, "workload scale factor (apps)")
 		iters     = flag.Int("iters", 300, "JVM workload loop iterations")
 		trials    = flag.Int("trials", 5, "trials per measurement (median/min)")
@@ -258,6 +262,29 @@ func main() {
 		if *telGate && !rep.Pass {
 			fmt.Fprintf(os.Stderr, "laminar-bench: telemetry disabled-path overhead %.3fx exceeds %.2fx gate\n",
 				rep.HeadlineOff, rep.GateMax)
+			os.Exit(1)
+		}
+	}
+	if *all || *trace {
+		ran = true
+		rep, err := eval.Trace(*traceMsgs, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *traceJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*traceJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *traceJSON)
+		}
+		if *traceGate && !rep.Pass {
+			fmt.Fprintf(os.Stderr, "laminar-bench: trace overhead off=%.3fx (gate %.2fx) on=%.3fx (gate %.2fx)\n",
+				rep.OverheadOff, rep.GateOff, rep.OverheadOn, rep.GateOn)
 			os.Exit(1)
 		}
 	}

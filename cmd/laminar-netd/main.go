@@ -27,6 +27,20 @@
 //	    incarnation epoch, reconverge, and deliver a routed flow through
 //	    a fully checked relay hop. Exit 0 on success, 1 on any violated
 //	    expectation. CI runs this.
+//
+//	laminar-netd -trace-smoke [-dumpdir DIR]
+//	    Three-node flow-tracing smoke test: route a secrecy-labeled flow
+//	    1 → relay at 2 → 3 with tracing on, let node 3's own LSM deny
+//	    the final Recv, and reconstruct the hop-by-hop route from the
+//	    per-node flight dumps (explain-route), re-running every recorded
+//	    check. With -dumpdir the per-node and merged dumps are written
+//	    there for laminar-trace to consume. Exit 0/1. CI runs this.
+//
+//	laminar-netd -cluster-stats
+//	    Three-node metrics-aggregation demo: converge, exchange routed
+//	    traffic, wait for stats broadcasts to land, kill one node, show
+//	    its slice going stale, and print the merged cluster snapshot in
+//	    Prometheus text format. Exit 0/1. CI runs this.
 package main
 
 import (
@@ -58,9 +72,13 @@ type node struct {
 }
 
 func bootNode(id uint64, batching bool) (*node, error) {
+	return bootNodeAt(id, batching, telemetry.LevelDeny, false)
+}
+
+func bootNodeAt(id uint64, batching bool, level telemetry.Level, tracing bool) (*node, error) {
 	mod := lsm.New()
 	rec := telemetry.NewRecorder()
-	rec.SetLevel(telemetry.LevelDeny)
+	rec.SetLevel(level)
 	k := kernel.New(kernel.WithSecurityModule(mod), kernel.WithTelemetry(rec))
 	mod.InstallSystemIntegrity(k)
 	mod.SetTelemetry(rec)
@@ -69,7 +87,7 @@ func bootNode(id uint64, batching bool) (*node, error) {
 		return nil, err
 	}
 	nl := netlabel.NewNode(netlabel.Config{
-		Kernel: k, Module: mod, Recorder: rec, NodeID: id, Batching: batching,
+		Kernel: k, Module: mod, Recorder: rec, NodeID: id, Batching: batching, Tracing: tracing,
 	})
 	return &node{k: k, mod: mod, user: user, rec: rec, nl: nl}, nil
 }
@@ -78,6 +96,9 @@ func main() {
 	var (
 		smoke    = flag.Bool("smoke", false, "two-kernel localhost self test (allowed + denied flow); exit 0/1")
 		cSmoke   = flag.Bool("cluster-smoke", false, "three-node cluster self test (join, kill, restart, converge, routed flow); exit 0/1")
+		tSmoke   = flag.Bool("trace-smoke", false, "three-node flow-tracing self test (routed denial reconstructed hop by hop); exit 0/1")
+		dumpdir  = flag.String("dumpdir", "", "with -trace-smoke: write per-node and merged flight dumps here")
+		cStats   = flag.Bool("cluster-stats", false, "three-node metrics-aggregation demo (stats broadcasts, staleness, merged Prometheus output); exit 0/1")
 		listen   = flag.String("listen", "", "daemon mode: listen address for peer kernels")
 		echo     = flag.Bool("echo", false, "with -listen: echo readable channels back to the peer")
 		dial     = flag.String("dial", "", "client mode: peer address to open a channel to")
@@ -101,6 +122,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("laminar-netd: cluster smoke ok — converged, survived a kill+restart under a new epoch, routed flow relayed with per-hop checks")
+	case *tSmoke:
+		if err := runTraceSmoke(*batching, *dumpdir); err != nil {
+			fmt.Fprintln(os.Stderr, "laminar-netd: TRACE SMOKE FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("laminar-netd: trace smoke ok — routed denial reconstructed hop by hop, every recorded check replayed MATCHES")
+	case *cStats:
+		if err := runClusterStats(*batching); err != nil {
+			fmt.Fprintln(os.Stderr, "laminar-netd: CLUSTER STATS FAIL:", err)
+			os.Exit(1)
+		}
 	case *listen != "":
 		if err := runDaemon(*listen, *echo, *batching, *interval); err != nil {
 			fmt.Fprintln(os.Stderr, "laminar-netd:", err)
@@ -219,13 +251,18 @@ type clusterMember struct {
 }
 
 func bootClusterMember(id uint64, seeds []string, store cluster.Store, batching bool) (*clusterMember, error) {
-	n, err := bootNode(id, batching)
+	return bootClusterMemberAt(id, seeds, store, batching, telemetry.LevelDeny, false)
+}
+
+func bootClusterMemberAt(id uint64, seeds []string, store cluster.Store, batching bool,
+	level telemetry.Level, tracing bool) (*clusterMember, error) {
+	n, err := bootNodeAt(id, batching, level, tracing)
 	if err != nil {
 		return nil, err
 	}
 	cl := cluster.New(cluster.Config{
 		ID: id, Kernel: n.k, Module: n.mod, Recorder: n.rec,
-		Store: store, Seeds: seeds, Batching: batching,
+		Store: store, Seeds: seeds, Batching: batching, Tracing: tracing,
 	})
 	if err := cl.Listen("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -372,6 +409,257 @@ func runClusterSmoke(batching bool) error {
 			return fmt.Errorf("routed flow stalled: got %q", got)
 		}
 	}
+	return nil
+}
+
+// tickCluster advances every member one logical tick, paced so a TCP
+// round-trip spans about one tick (busy-ticking would outrun heartbeat
+// delivery and flap the failure detector).
+func tickCluster(members []*clusterMember) {
+	for _, m := range members {
+		m.cl.Tick()
+	}
+	time.Sleep(200 * time.Microsecond)
+}
+
+// convergeCluster ticks until every member is joined and sees every id
+// alive.
+func convergeCluster(members []*clusterMember, what string, ids ...uint64) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		tickCluster(members)
+		done := true
+		for _, m := range members {
+			if !m.cl.Joined() || !m.cl.Converged(ids...) {
+				done = false
+			}
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var view strings.Builder
+			for _, m := range members {
+				fmt.Fprintf(&view, " [joined=%v members=%v]", m.cl.Joined(), m.cl.Members())
+			}
+			return fmt.Errorf("cluster never converged (%s):%s", what, view.String())
+		}
+	}
+}
+
+// runTraceSmoke routes a secrecy-labeled flow 1 → relay at 2 → 3 with
+// tracing on. Node 3's user task lacks the tag, so node 3's own LSM
+// denies the final Recv — the denial event carries the trace context the
+// transport propagated across both legs. The route is then reconstructed
+// twice: from node 3's dump alone (the denial hop self-explains) and
+// from the merged three-node dump (every hop present), with every
+// recorded check re-run.
+func runTraceSmoke(batching bool, dumpdir string) error {
+	n1, err := bootClusterMemberAt(1, nil, cluster.NewMemStore(), batching, telemetry.LevelAll, true)
+	if err != nil {
+		return err
+	}
+	defer n1.cl.Close()
+	seeds := []string{n1.cl.Addr()}
+	n2, err := bootClusterMemberAt(2, seeds, cluster.NewMemStore(), batching, telemetry.LevelAll, true)
+	if err != nil {
+		return err
+	}
+	defer n2.cl.Close()
+	n3, err := bootClusterMemberAt(3, seeds, cluster.NewMemStore(), batching, telemetry.LevelAll, true)
+	if err != nil {
+		return err
+	}
+	defer n3.cl.Close()
+	members := []*clusterMember{n1, n2, n3}
+	if err := convergeCluster(members, "trace smoke join", 1, 2, 3); err != nil {
+		return err
+	}
+
+	tag, err := n1.k.AllocTag(n1.user)
+	if err != nil {
+		return err
+	}
+	secret := difc.Labels{S: difc.NewLabel(tag)}
+
+	// Establish the routed channel. A routed open landing in a suspect
+	// window degrades to silence, so establishment retries; each attempt
+	// sends a probe so the relay has bytes to move (the hop-1 checks fire
+	// on the relay pump either way).
+	var fdC kernel.FD
+	established := false
+	deadline := time.Now().Add(20 * time.Second)
+	var attempt byte
+	for !established {
+		if time.Now().After(deadline) {
+			return errors.New("routed labeled channel 1 -> relay at 2 -> 3 never established")
+		}
+		attempt++
+		fd, oerr := n1.cl.OpenVia(n1.user, 2, 3, secret)
+		if oerr != nil {
+			tickCluster(members)
+			continue
+		}
+		if _, serr := n1.k.Send(n1.user, fd, []byte{0x5A, attempt}); serr != nil {
+			return fmt.Errorf("routed probe send: %w", serr)
+		}
+		for i := 0; i < 400 && !established; i++ {
+			tickCluster(members)
+			for {
+				afd, labels, aerr := n3.cl.Node().Accept(n3.user)
+				if aerr != nil {
+					break
+				}
+				if !labels.S.IsEmpty() {
+					fdC, established = afd, true
+				}
+			}
+		}
+	}
+
+	// The denial at hop 2: node 3's unlabeled user task may not read the
+	// secret endpoint; its own LSM rejects the Recv with provenance.
+	buf := make([]byte, 64)
+	if _, rerr := n3.k.Recv(n3.user, fdC, buf); !errors.Is(rerr, kernel.ErrAccess) {
+		return fmt.Errorf("labeled recv at node 3 = %v, want EACCES", rerr)
+	}
+
+	evs1, evs2, evs3 := n1.rec.Snapshot(), n2.rec.Snapshot(), n3.rec.Snapshot()
+	var traceID uint64
+	for _, e := range evs3 {
+		if e.Kind == telemetry.KindDeny && e.TraceID != 0 {
+			traceID = e.TraceID
+		}
+	}
+	if traceID == 0 {
+		return errors.New("node 3 recorded no traced denial")
+	}
+
+	// Hop 2 self-explains from node 3's dump alone.
+	rep3, err := telemetry.ExplainRoute(traceID, evs3)
+	if err != nil {
+		return fmt.Errorf("explain-route from node 3 alone: %w", err)
+	}
+	if !rep3.Denied || rep3.DeniedHop != 2 {
+		return fmt.Errorf("node-3-only route: denied=%v hop=%d, want denial at hop 2", rep3.Denied, rep3.DeniedHop)
+	}
+
+	// The merged dump reconstructs every hop, and every replayable check
+	// must MATCH its record.
+	all := append(append(append([]telemetry.Event(nil), evs1...), evs2...), evs3...)
+	rep, err := telemetry.ExplainRoute(traceID, all)
+	if err != nil {
+		return fmt.Errorf("explain-route from merged dump: %w", err)
+	}
+	hops := map[uint8]bool{}
+	for _, h := range rep.Hops {
+		hops[h.Hop] = true
+		for _, c := range h.Checks {
+			if c.Result.Replayable && !c.Result.Matches {
+				return fmt.Errorf("hop %d @ node %d: replay DIVERGED: %s", h.Hop, h.Node, c.Result.Reason)
+			}
+		}
+	}
+	for hop := uint8(0); hop <= 2; hop++ {
+		if !hops[hop] {
+			return fmt.Errorf("merged route is missing hop %d (got %v)", hop, rep.Hops)
+		}
+	}
+	if !rep.Denied || rep.DeniedHop != 2 {
+		return fmt.Errorf("merged route: denied=%v hop=%d, want denial at hop 2", rep.Denied, rep.DeniedHop)
+	}
+	fmt.Print(telemetry.FormatRoute(rep))
+
+	if dumpdir != "" {
+		if err := os.MkdirAll(dumpdir, 0o755); err != nil {
+			return err
+		}
+		for i, m := range members {
+			f, err := os.Create(fmt.Sprintf("%s/node%d.jsonl", dumpdir, i+1))
+			if err != nil {
+				return err
+			}
+			if err := m.rec.DumpWithMeta(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		f, err := os.Create(dumpdir + "/merged.jsonl")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WriteDump(f, all); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runClusterStats demonstrates cluster-wide metrics aggregation: stats
+// broadcasts land on every peer, a killed node's slice goes stale, and
+// the merged snapshot renders as Prometheus text.
+func runClusterStats(batching bool) error {
+	n1, err := bootClusterMember(1, nil, cluster.NewMemStore(), batching)
+	if err != nil {
+		return err
+	}
+	defer n1.cl.Close()
+	seeds := []string{n1.cl.Addr()}
+	n2, err := bootClusterMember(2, seeds, cluster.NewMemStore(), batching)
+	if err != nil {
+		return err
+	}
+	defer n2.cl.Close()
+	n3, err := bootClusterMember(3, seeds, cluster.NewMemStore(), batching)
+	if err != nil {
+		return err
+	}
+	members := []*clusterMember{n1, n2, n3}
+	if err := convergeCluster(members, "stats join", 1, 2, 3); err != nil {
+		return err
+	}
+
+	// Tick until node 1 has heard a stats broadcast from both peers.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		tickCluster(members)
+		if len(n1.cl.ClusterSnapshot().Nodes) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("stats broadcasts never reached node 1")
+		}
+	}
+
+	// Kill node 3; its cached slice must go stale on node 1 once the
+	// failure detector reclassifies it.
+	n3.cl.Close()
+	live := []*clusterMember{n1, n2}
+	for {
+		tickCluster(live)
+		cs := n1.cl.ClusterSnapshot()
+		stale := false
+		for _, n := range cs.Nodes {
+			if n.Node == 3 && n.Stale {
+				stale = true
+			}
+		}
+		if stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("killed node's stats slice never went stale on node 1")
+		}
+	}
+
+	cs := n1.cl.ClusterSnapshot()
+	if err := cs.WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("laminar-netd: cluster stats ok — %d node slices merged, %d stale after the kill\n",
+		len(cs.Nodes), cs.StaleNodes)
 	return nil
 }
 

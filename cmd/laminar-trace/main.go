@@ -18,7 +18,15 @@
 //	    (MATCHES / DIVERGED). Defaults to the most recent denial.
 //
 //	laminar-trace stats [-dump ring.jsonl]
-//	    Aggregate the dump: events by kind, denials by rule, top sites.
+//	    Aggregate the dump: events by kind and layer, denials by rule,
+//	    top sites, and — when the dump carries a v2 meta header — the
+//	    per-layer latency histograms (p50/p99).
+//
+//	laminar-trace explain-route [-trace ID] dump1.jsonl [dump2.jsonl ...]
+//	    Merge N per-node dumps, reconstruct the hop-by-hop route of one
+//	    traced flow (trace id 0 picks the most recent traced denial),
+//	    show each hop's label operands and verdict, and re-run every
+//	    recorded check (MATCHES / DIVERGED).
 //
 // A dump path of "-" reads stdin, so dumps pipe: laminar-trace record |
 // laminar-trace explain-denial -dump -.
@@ -71,6 +79,15 @@ func main() {
 		dump := fs.String("dump", "ring.jsonl", "flight-ring dump to read (- for stdin)")
 		fs.Parse(os.Args[2:])
 		err = runStats(os.Stdout, *dump)
+	case "explain-route":
+		fs := flag.NewFlagSet("explain-route", flag.ExitOnError)
+		trace := fs.Uint64("trace", 0, "trace id to reconstruct (0 = most recent traced denial)")
+		fs.Parse(os.Args[2:])
+		dumps := fs.Args()
+		if len(dumps) == 0 {
+			dumps = []string{"ring.jsonl"}
+		}
+		err = runExplainRoute(os.Stdout, *trace, dumps)
 	default:
 		usage()
 		os.Exit(2)
@@ -82,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: laminar-trace <record|tail|explain-denial|stats> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: laminar-trace <record|tail|explain-denial|explain-route|stats> [flags]")
 }
 
 func readEvents(path string) ([]telemetry.Event, error) {
@@ -226,15 +243,26 @@ func runExplain(w io.Writer, dump string, seq uint64) error {
 }
 
 func runStats(w io.Writer, dump string) error {
-	events, err := readEvents(dump)
+	var rd io.Reader = os.Stdin
+	if dump != "-" {
+		f, err := os.Open(dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	meta, events, err := telemetry.ReadDumpFull(rd)
 	if err != nil {
 		return err
 	}
 	kinds := map[string]int{}
+	layers := map[string]int{}
 	rules := map[string]int{}
 	sites := map[string]int{}
 	for _, e := range events {
 		kinds[e.Kind.String()]++
+		layers[e.Layer.String()]++
 		if e.Kind == telemetry.KindDeny {
 			rules[e.Rule.String()]++
 			sites[e.Site]++
@@ -242,10 +270,57 @@ func runStats(w io.Writer, dump string) error {
 	}
 	fmt.Fprintf(w, "%d events\n\nby kind:\n", len(events))
 	printSorted(w, kinds)
+	fmt.Fprintln(w, "\nby layer:")
+	printSorted(w, layers)
 	fmt.Fprintln(w, "\ndenials by rule:")
 	printSorted(w, rules)
 	fmt.Fprintln(w, "\ndenials by site:")
 	printSorted(w, sites)
+	if meta != nil && meta.Snapshot != nil && len(meta.Snapshot.LayerLatency) > 0 {
+		fmt.Fprintf(w, "\nper-layer latency (node %d, epoch %d):\n", meta.Node, meta.NodeEpoch)
+		names := make([]string, 0, len(meta.Snapshot.LayerLatency))
+		for name := range meta.Snapshot.LayerLatency {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			buckets := meta.Snapshot.LayerLatency[name]
+			var count uint64
+			for _, b := range buckets {
+				count += b.Count
+			}
+			p50, _ := telemetry.HistQuantile(buckets, 0.50)
+			p99, _ := telemetry.HistQuantile(buckets, 0.99)
+			fmt.Fprintf(w, "  %-8s %8d obs  p50 ≤ %dns  p99 ≤ %dns\n", name, count, p50, p99)
+		}
+	}
+	return nil
+}
+
+// runExplainRoute merges events from every listed dump and reconstructs
+// the traced flow's route. Trace id 0 auto-picks the most recent traced
+// denial across the merged set.
+func runExplainRoute(w io.Writer, trace uint64, dumps []string) error {
+	var events []telemetry.Event
+	for _, path := range dumps {
+		evs, err := readEvents(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		events = append(events, evs...)
+	}
+	if trace == 0 {
+		ids := telemetry.TracedDenials(events)
+		if len(ids) == 0 {
+			return fmt.Errorf("no traced denials in %d dump(s); pass -trace explicitly", len(dumps))
+		}
+		trace = ids[0]
+	}
+	rep, err := telemetry.ExplainRoute(trace, events)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, telemetry.FormatRoute(rep))
 	return nil
 }
 

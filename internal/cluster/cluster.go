@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
@@ -63,7 +64,20 @@ type Config struct {
 
 	// Batching passes through to the transport.
 	Batching bool
+
+	// Tracing passes through to the transport: opened and routed channels
+	// carry a TraceCtx so explain-route can reconstruct multi-hop flows.
+	Tracing bool
+
+	// StatsEvery is the period, in logical ticks, at which a joined node
+	// broadcasts its metrics snapshot to the alive membership. Zero takes
+	// the default; negative disables the broadcast.
+	StatsEvery int
 }
+
+// defaultStatsEvery spaces stats broadcasts out to every 8th tick —
+// frequent enough for tick-driven tests, cheap enough to ride along.
+const defaultStatsEvery = 8
 
 // Cluster is one node's view of the label plane.
 type Cluster struct {
@@ -80,6 +94,7 @@ type Cluster struct {
 	changes    map[uint64]*Change
 	nextChange uint64
 	stepDefs   map[string][]stepDef
+	stats      map[uint64]peerStats // latest snapshot heard per peer
 
 	relays    []*relay
 	ranges    []authRange
@@ -107,6 +122,9 @@ func New(cfg Config) *Cluster {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = defaultHeartbeatEvery
 	}
+	if cfg.StatsEvery == 0 {
+		cfg.StatsEvery = defaultStatsEvery
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		rec:     cfg.Recorder,
@@ -121,6 +139,7 @@ func New(cfg Config) *Cluster {
 		Injector: cfg.Injector,
 		NodeID:   cfg.ID,
 		Batching: cfg.Batching,
+		Tracing:  cfg.Tracing,
 		Control:  c.onControl,
 		Routed:   c.onRouted,
 	})
@@ -130,6 +149,11 @@ func New(cfg Config) *Cluster {
 	c.loadRanges()
 	c.resumeChanges()
 	c.mu.Unlock()
+	if c.rec != nil {
+		// NewNode stamped (id, 0); now that the persisted incarnation
+		// epoch is loaded, every event and minted trace carries it.
+		c.rec.SetNodeIdentity(cfg.ID, c.epoch)
+	}
 	return c
 }
 
@@ -207,6 +231,9 @@ func (c *Cluster) Tick() int {
 		// what its peers' detectors are built to classify.
 		c.heartbeat() // unlocks around the sends
 	}
+	if c.joined && c.cfg.StatsEvery > 0 && c.now%uint64(c.cfg.StatsEvery) == 0 {
+		c.broadcastStats() // unlocks around the sends
+	}
 	c.detect()
 	c.mu.Unlock()
 	moved := c.pumpRelays()
@@ -234,6 +261,10 @@ func (c *Cluster) Close() {
 // sender's incarnation epoch, then apply. Runs inside Pump, without the
 // cluster lock held on entry.
 func (c *Cluster) onControl(peerID uint64, payload []byte) {
+	if c.rec != nil && c.rec.Active() {
+		t0 := time.Now()
+		defer func() { c.rec.M.ObserveLayer(telemetry.LayerCluster, time.Since(t0)) }()
+	}
 	m, err := parseCtrl(payload)
 	if err != nil {
 		c.denyEvent("cluster.ctrl", "parse", err)
@@ -268,6 +299,9 @@ func (c *Cluster) onControl(peerID uint64, payload []byte) {
 	case msgAuthority:
 		c.observe(m.From, m.Epoch, m.Addr)
 		c.installRanges(m.Ranges)
+	case msgStats:
+		c.observe(m.From, m.Epoch, m.Addr)
+		c.onStats(m)
 	}
 	c.mu.Unlock()
 	if reply != nil && replyTo != "" {

@@ -6,6 +6,7 @@ import (
 	"laminar/internal/difc"
 	"laminar/internal/kernel"
 	"laminar/internal/netlabel"
+	"laminar/internal/telemetry"
 )
 
 // Multi-hop routing.
@@ -137,13 +138,21 @@ func (c *Cluster) onRouted(o netlabel.RoutedOffer) netlabel.RoutedAction {
 
 	// Build the relay: adopted outbound endpoint, relay task at the
 	// channel's labels, both descriptors installed in the relay task.
+	// The received trace context (if any) is re-attached to the onward
+	// leg so the whole route shares one trace id; the transport bumps
+	// the hop counter when it transmits.
+	var tr *telemetry.TraceCtx
+	if o.Traced {
+		t := o.Trace
+		tr = &t
+	}
 	outFile, err := c.node.OpenRoutedAdopted(addr, labels, encodeRoute(routeMeta{
 		Origin:      meta.Origin,
 		OriginEpoch: meta.OriginEpoch,
 		LabelS:      meta.LabelS,
 		LabelI:      meta.LabelI,
 		Path:        rest,
-	}))
+	}), tr)
 	if err != nil {
 		c.count("cluster.route.deadlink", 1)
 		return netlabel.RoutedDrop

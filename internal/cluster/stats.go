@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sort"
+
+	"laminar/internal/telemetry"
+)
+
+// Cluster metrics aggregation (DESIGN.md §16). On a period, every joined
+// node broadcasts its MetricsSnapshot to the alive membership as a
+// msgStats control message; each receiver caches the latest snapshot per
+// peer, stamped with the sender's incarnation epoch and the receiver's
+// tick. ClusterSnapshot folds the cache plus the live local snapshot into
+// one cluster-wide view, marking slices from suspect/dead peers or
+// superseded epochs as stale rather than dropping them — their counts
+// happened; they just stopped moving.
+
+// peerStats is the latest snapshot heard from one peer.
+type peerStats struct {
+	epoch uint64 // sender's incarnation epoch at send time
+	tick  uint64 // receiver's tick when heard
+	snap  telemetry.MetricsSnapshot
+}
+
+// onStats caches a peer's snapshot broadcast. locked.
+func (c *Cluster) onStats(m ctrlMsg) {
+	var snap telemetry.MetricsSnapshot
+	if err := json.Unmarshal(m.Blob, &snap); err != nil {
+		c.denyEvent("cluster.stats", "decode", err)
+		return
+	}
+	if c.stats == nil {
+		c.stats = make(map[uint64]peerStats)
+	}
+	c.stats[m.From] = peerStats{epoch: m.Epoch, tick: c.now, snap: snap}
+	c.count("cluster.stats.heard", 1)
+}
+
+// broadcastStats sends the local metrics snapshot to every alive member.
+// locked on entry; unlocks around the sends (the heartbeat idiom).
+func (c *Cluster) broadcastStats() {
+	if c.rec == nil {
+		return
+	}
+	blob, err := json.Marshal(c.rec.MetricsSnapshot())
+	if err != nil {
+		return
+	}
+	msg := encodeCtrl(ctrlMsg{Type: msgStats, From: c.cfg.ID, Epoch: c.epoch,
+		Addr: c.node.Addr(), Blob: blob})
+	targets := make([]string, 0, len(c.members))
+	for _, m := range c.members {
+		if m.state == StateAlive {
+			targets = append(targets, m.addr)
+		}
+	}
+	sort.Strings(targets)
+	c.mu.Unlock()
+	for _, addr := range targets {
+		c.node.SendControl(addr, msg)
+	}
+	c.mu.Lock()
+}
+
+// ClusterSnapshot merges the live local snapshot with every cached peer
+// snapshot into the cluster-wide view. A peer's slice is stale when the
+// failure detector no longer calls it alive, or when the cached snapshot
+// came from an epoch the membership has since superseded.
+func (c *Cluster) ClusterSnapshot() telemetry.ClusterSnapshot {
+	var nodes []telemetry.NodeSnapshot
+	c.mu.Lock()
+	if c.rec != nil {
+		// Snapshot under the lock so the local slice and the peer cache
+		// come from the same instant of this node's view.
+		nodes = append(nodes, telemetry.NodeSnapshot{
+			Node: c.cfg.ID, Epoch: c.epoch, Tick: c.now,
+			Snapshot: c.rec.MetricsSnapshot(),
+		})
+	}
+	for id, ps := range c.stats {
+		ns := telemetry.NodeSnapshot{Node: id, Epoch: ps.epoch, Tick: ps.tick, Snapshot: ps.snap}
+		m, known := c.members[id]
+		switch {
+		case !known:
+			ns.Stale, ns.StaleWhy = true, "unknown member"
+		case m.state != StateAlive:
+			ns.Stale, ns.StaleWhy = true, m.state.String()
+		case m.epoch > ps.epoch:
+			ns.Stale, ns.StaleWhy = true, fmt.Sprintf("epoch %d < %d", ps.epoch, m.epoch)
+		}
+		nodes = append(nodes, ns)
+	}
+	c.mu.Unlock()
+	return telemetry.MergeSnapshots(nodes)
+}
+
+// PublishExpvar exposes this node's merged cluster view on /debug/vars
+// under "laminar.cluster.<id>". Idempotent per name; expvar panics on
+// double-publish, so the guard matters when tests boot the same id twice.
+func (c *Cluster) PublishExpvar() {
+	name := fmt.Sprintf("laminar.cluster.%d", c.cfg.ID)
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return c.ClusterSnapshot() }))
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"laminar/internal/telemetry"
+)
+
+func TestStatsCtrlCodecRoundTrip(t *testing.T) {
+	blob := []byte(`{"denials":4}`)
+	in := ctrlMsg{Type: msgStats, From: 2, Epoch: 5, Addr: "127.0.0.1:9", Blob: blob}
+	out, err := parseCtrl(encodeCtrl(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != msgStats || out.From != 2 || out.Epoch != 5 || out.Addr != in.Addr {
+		t.Fatalf("header round trip = %+v", out)
+	}
+	if !bytes.Equal(out.Blob, blob) {
+		t.Fatalf("blob round trip = %q", out.Blob)
+	}
+	// The parsed blob must be a copy, not a window into the frame buffer.
+	enc := encodeCtrl(in)
+	out, _ = parseCtrl(enc)
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	if !bytes.Equal(out.Blob, blob) {
+		t.Fatal("parsed blob aliases the frame buffer")
+	}
+}
+
+func TestStatsCtrlCodecStrict(t *testing.T) {
+	good := encodeCtrl(ctrlMsg{Type: msgStats, From: 1, Epoch: 1, Blob: []byte("{}")})
+	cases := map[string][]byte{
+		"trailing bytes":        append(append([]byte(nil), good...), 0xAA),
+		"truncated blob header": good[:len(good)-3],
+		"blob shorter than len": good[:len(good)-1],
+	}
+	for name, b := range cases {
+		if _, err := parseCtrl(b); !errors.Is(err, ErrCtrlMalformed) {
+			t.Errorf("%s: err = %v, want ErrCtrlMalformed", name, err)
+		}
+	}
+	// A declared blob length past the cap is rejected before allocation.
+	huge := encodeCtrl(ctrlMsg{Type: msgStats, From: 1, Epoch: 1,
+		Blob: bytes.Repeat([]byte{'x'}, maxStatsBlob+1)})
+	if _, err := parseCtrl(huge); !errors.Is(err, ErrCtrlMalformed) {
+		t.Errorf("oversize blob: err = %v, want ErrCtrlMalformed", err)
+	}
+	// Non-stats messages still refuse trailing bytes (no blob arm).
+	ping := encodeCtrl(ctrlMsg{Type: msgPing, From: 1, Epoch: 1})
+	if _, err := parseCtrl(append(ping, 0x00)); !errors.Is(err, ErrCtrlMalformed) {
+		t.Errorf("ping trailing bytes: err = %v, want ErrCtrlMalformed", err)
+	}
+}
+
+// TestStatsBroadcastAggregates: stats broadcasts reach every peer on the
+// tick period and merge into a cluster-wide snapshot with no stale
+// slices while everyone is alive.
+func TestStatsBroadcastAggregates(t *testing.T) {
+	nodes := formCluster(t, 3)
+	n1 := nodes[0]
+	tickUntil(t, func() bool {
+		return len(n1.cl.ClusterSnapshot().Nodes) >= 3
+	}, nodes...)
+	cs := n1.cl.ClusterSnapshot()
+	if cs.StaleNodes != 0 {
+		t.Fatalf("stale nodes = %d while all alive: %+v", cs.StaleNodes, cs.Nodes)
+	}
+	// The join protocol itself ran hooks on every node, so the merged
+	// view must show more hook invocations than node 1 alone.
+	var local uint64
+	for _, n := range cs.Nodes {
+		if n.Node == 1 {
+			for _, v := range n.Snapshot.Hooks {
+				local += v
+			}
+		}
+	}
+	var merged uint64
+	for _, v := range cs.Merged.Hooks {
+		merged += v
+	}
+	if merged <= local {
+		t.Fatalf("merged hooks %d not larger than node 1's %d", merged, local)
+	}
+	if n1.rec.M.Extra.Get("cluster.stats.heard").Load() == 0 {
+		t.Fatal("no stats broadcasts heard")
+	}
+}
+
+// TestStatsStaleness: a dead peer's cached slice goes stale with the
+// detector's verdict as the reason, and a slice from a superseded
+// incarnation epoch is stale even while the peer is alive.
+func TestStatsStaleness(t *testing.T) {
+	nodes := formCluster(t, 3)
+	n1, n2, n3 := nodes[0], nodes[1], nodes[2]
+	tickUntil(t, func() bool {
+		return len(n1.cl.ClusterSnapshot().Nodes) >= 3
+	}, nodes...)
+
+	// Epoch staleness: rewind the cached epoch below the membership's.
+	n1.cl.mu.Lock()
+	ps := n1.cl.stats[3]
+	ps.epoch = 0
+	n1.cl.stats[3] = ps
+	n1.cl.mu.Unlock()
+	found := false
+	for _, n := range n1.cl.ClusterSnapshot().Nodes {
+		if n.Node == 3 {
+			found = true
+			if !n.Stale || !strings.Contains(n.StaleWhy, "epoch") {
+				t.Fatalf("superseded-epoch slice = %+v, want stale with epoch reason", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("node 3 slice missing")
+	}
+
+	// Liveness staleness: kill node 3 and wait for the detector.
+	n3.cl.Close()
+	tickUntil(t, func() bool { return n1.cl.State(3) != StateAlive }, n1, n2)
+	for _, n := range n1.cl.ClusterSnapshot().Nodes {
+		if n.Node == 3 && !n.Stale {
+			t.Fatalf("dead peer's slice not stale: %+v", n)
+		}
+	}
+
+	// The expvar surface publishes without panicking, idempotently.
+	n1.cl.PublishExpvar()
+	n1.cl.PublishExpvar()
+}
+
+// TestStatsDisabled: StatsEvery < 0 turns broadcasting off entirely.
+func TestStatsDisabled(t *testing.T) {
+	n1 := bootCluster(t, Config{ID: 1, StatsEvery: -1})
+	if _, err := n1.cl.Join(); err != nil {
+		t.Fatal(err)
+	}
+	n2 := bootCluster(t, Config{ID: 2, Seeds: []string{n1.cl.Addr()}, StatsEvery: -1})
+	if _, err := n2.cl.Join(); err != nil {
+		t.Fatal(err)
+	}
+	tickUntil(t, func() bool {
+		return n1.cl.Converged(1, 2) && n2.cl.Converged(1, 2) && n1.cl.Joined() && n2.cl.Joined()
+	}, n1, n2)
+	for i := 0; i < 64; i++ {
+		n1.cl.Tick()
+		n2.cl.Tick()
+	}
+	if got := len(n1.cl.ClusterSnapshot().Nodes); got != 1 {
+		t.Fatalf("snapshot has %d slices with stats disabled, want local only", got)
+	}
+	if n1.rec.M.Extra.Get("cluster.stats.heard").Load() != 0 {
+		t.Fatal("stats heard despite StatsEvery < 0")
+	}
+}
+
+// TestStatsBlobDecodeFailureIsProvenance: a syntactically valid control
+// frame whose JSON blob does not decode is dropped with a LayerCluster
+// denial event, never a crash or partial apply.
+func TestStatsBlobDecodeFailureIsProvenance(t *testing.T) {
+	n1 := bootCluster(t, Config{ID: 1})
+	if _, err := n1.cl.Join(); err != nil {
+		t.Fatal(err)
+	}
+	var denies int
+	unsub := n1.rec.Subscribe(func(e telemetry.Event) {
+		if e.Layer == telemetry.LayerCluster && e.Site == "cluster.stats" {
+			denies++
+		}
+	})
+	defer unsub()
+	n1.cl.mu.Lock()
+	n1.cl.onStats(ctrlMsg{Type: msgStats, From: 9, Epoch: 1, Blob: []byte("{not json")})
+	n1.cl.mu.Unlock()
+	if denies == 0 {
+		t.Fatal("undecodable stats blob dropped without provenance")
+	}
+	if len(n1.cl.ClusterSnapshot().Nodes) != 1 {
+		t.Fatal("undecodable stats blob was cached")
+	}
+}

@@ -20,12 +20,13 @@ type msgType byte
 
 // Control message types.
 const (
-	msgPing    msgType = 1 + iota // heartbeat, carries membership gossip
-	msgJoinReq                    // "let me in": sender wants the member table
-	msgJoinAck                    // reply to JoinReq with the full table
-	msgLeave                      // orderly departure (drain)
-	msgAuthority                  // tag-authority range table broadcast
-	msgTypeMax = msgAuthority
+	msgPing      msgType = 1 + iota // heartbeat, carries membership gossip
+	msgJoinReq                      // "let me in": sender wants the member table
+	msgJoinAck                      // reply to JoinReq with the full table
+	msgLeave                        // orderly departure (drain)
+	msgAuthority                    // tag-authority range table broadcast
+	msgStats                        // per-node metrics snapshot (JSON blob)
+	msgTypeMax   = msgStats
 )
 
 // String names the message type.
@@ -41,6 +42,8 @@ func (t msgType) String() string {
 		return "leave"
 	case msgAuthority:
 		return "authority"
+	case msgStats:
+		return "stats"
 	default:
 		return "unknown"
 	}
@@ -69,10 +72,12 @@ type ctrlMsg struct {
 	Addr    string       // sender's listen address (dial-back key)
 	Members []memberWire // ping / join-ack gossip
 	Ranges  []authRange  // authority broadcasts
+	Blob    []byte       // msgStats only: JSON metrics snapshot
 }
 
 const maxCtrlString = 256
 const maxCtrlList = 1024
+const maxStatsBlob = 256 * 1024
 
 func appendString(dst []byte, s string) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
@@ -114,6 +119,10 @@ func encodeCtrl(m ctrlMsg) []byte {
 	for _, r := range m.Ranges {
 		buf = binary.BigEndian.AppendUint64(buf, r.Start)
 		buf = binary.BigEndian.AppendUint64(buf, r.Owner)
+	}
+	if m.Type == msgStats {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Blob)))
+		buf = append(buf, m.Blob...)
 	}
 	return buf
 }
@@ -185,6 +194,18 @@ func parseCtrl(b []byte) (ctrlMsg, error) {
 			return m, err
 		}
 		m.Ranges = append(m.Ranges, r)
+	}
+	if m.Type == msgStats {
+		if len(b) < 4 {
+			return m, fmt.Errorf("%w: truncated blob header", ErrCtrlMalformed)
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n > maxStatsBlob || len(b) != n {
+			return m, fmt.Errorf("%w: blob length %d with %d bytes", ErrCtrlMalformed, n, len(b))
+		}
+		m.Blob = append([]byte(nil), b...)
+		b = nil
 	}
 	if len(b) != 0 {
 		return m, fmt.Errorf("%w: %d trailing bytes", ErrCtrlMalformed, len(b))

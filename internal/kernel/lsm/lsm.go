@@ -399,19 +399,51 @@ func (m *Module) MmapFile(t *kernel.Task, ino *kernel.Inode, prot int) error {
 // match no future lookup.
 func (m *Module) checkAccess(t *kernel.Task, ino *kernel.Inode, mask kernel.AccessMask) error {
 	ts := m.taskState(t)
+	var verdict error
 	if !m.verdictCache {
-		return m.checkAccessSlow(ts, m.inodeState(ino).labels, mask)
+		verdict = m.checkAccessSlow(ts, m.inodeState(ino).labels, mask)
+	} else {
+		se, oe := t.LabelEpoch(), ino.LabelEpoch()
+		if ts.vc == nil {
+			ts.vc = difc.NewVerdictCache()
+		}
+		if v, ok := ts.vc.Lookup(uint64(ino.Ino), uint32(mask), se, oe); ok {
+			verdict = v
+		} else {
+			verdict = m.checkAccessSlow(ts, m.inodeState(ino).labels, mask)
+			ts.vc.Store(uint64(ino.Ino), uint32(mask), se, oe, verdict)
+		}
 	}
-	se, oe := t.LabelEpoch(), ino.LabelEpoch()
-	if ts.vc == nil {
-		ts.vc = difc.NewVerdictCache()
+	if verdict == nil && m.tel != nil && m.tel.Verbose() && m.tel.TraceBound(uint64(ino.Ino)) {
+		m.emitTracedAllows(t, ts, ino, mask)
 	}
-	if verdict, ok := ts.vc.Lookup(uint64(ino.Ino), uint32(mask), se, oe); ok {
-		return verdict
-	}
-	verdict := m.checkAccessSlow(ts, m.inodeState(ino).labels, mask)
-	ts.vc.Store(uint64(ino.Ino), uint32(mask), se, oe, verdict)
 	return verdict
+}
+
+// emitTracedAllows records rich, replayable allow events for an allowed
+// access on a trace-bound endpoint: full label operands at the site the
+// flow check ran, so explain-route can re-run each hop's check from the
+// dump (the allow-side counterpart of a denial's provenance). Emitted
+// AFTER the verdict — cached or not — from the mask alone, so the event
+// stream stays invariant under the verdict cache. The unlink arm is
+// deliberately skipped: its verdict folds in the couldRead escape, which
+// a bare CheckFlow replay cannot reproduce.
+func (m *Module) emitTracedAllows(t *kernel.Task, ts *taskSec, ino *kernel.Inode, mask kernel.AccessMask) {
+	subj := difc.InternLabels(ts.labels)
+	obj := difc.InternLabels(m.inodeState(ino).labels)
+	tid, proc, inum := uint64(t.TID), t.Proc, uint64(ino.Ino)
+	if mask&(kernel.MayRead|kernel.MayExec) != 0 {
+		m.tel.Emit(telemetry.Event{Layer: telemetry.LayerLSM, Kind: telemetry.KindAllow,
+			Site: "lsm.checkAccess", Op: "read", TID: tid, Proc: proc, Ino: inum,
+			SrcS: obj.S.InternedID(), SrcI: obj.I.InternedID(),
+			DstS: subj.S.InternedID(), DstI: subj.I.InternedID()})
+	}
+	if mask&kernel.MayWrite != 0 {
+		m.tel.Emit(telemetry.Event{Layer: telemetry.LayerLSM, Kind: telemetry.KindAllow,
+			Site: "lsm.checkAccess", Op: "write", TID: tid, Proc: proc, Ino: inum,
+			SrcS: subj.S.InternedID(), SrcI: subj.I.InternedID(),
+			DstS: obj.S.InternedID(), DstI: obj.I.InternedID()})
+	}
 }
 
 func (m *Module) checkAccessSlow(ts *taskSec, obj difc.Labels, mask kernel.AccessMask) error {

@@ -79,10 +79,12 @@ func maskOp(mask AccessMask) string {
 	}
 }
 
-// observe wraps one hook invocation: site counter, latency histogram,
-// denial provenance, and (at LevelAll) allow events. Callers pass the
-// acting task for TID attribution; nil means "no task" (boot paths).
-func (ts *telemetrySec) observe(site, op string, t *Task, fn func() error) error {
+// observe wraps one hook invocation: site counter, latency histograms
+// (the all-hooks one and the LSM layer slice), denial provenance, and
+// (at LevelAll) allow events. Callers pass the acting task for TID
+// attribution — nil means "no task" (boot paths) — and the inode number
+// the check concerns (0 when none), which keys cross-hop trace stamping.
+func (ts *telemetrySec) observe(site, op string, t *Task, ino uint64, fn func() error) error {
 	if !ts.rec.Active() {
 		return fn()
 	}
@@ -93,11 +95,14 @@ func (ts *telemetrySec) observe(site, op string, t *Task, fn func() error) error
 	ts.rec.M.Hooks.Inc(site, tid)
 	start := time.Now()
 	err := fn()
-	ts.rec.M.HookLatency.Observe(time.Since(start))
+	d := time.Since(start)
+	ts.rec.M.HookLatency.Observe(d)
+	ts.rec.M.ObserveLayer(telemetry.LayerLSM, d)
 	if err != nil {
-		ts.rec.Emit(denyEvent(site, op, tid, proc, err))
+		ts.rec.Emit(denyEvent(site, op, tid, proc, ino, err))
 	} else if ts.rec.Verbose() {
-		ts.rec.EmitAllow(telemetry.LayerLSM, site, op, tid, proc)
+		ts.rec.Emit(telemetry.Event{Layer: telemetry.LayerLSM, Kind: telemetry.KindAllow,
+			Op: op, Site: site, TID: tid, Proc: proc, Ino: ino})
 	}
 	return err
 }
@@ -106,8 +111,9 @@ func (ts *telemetrySec) observe(site, op string, t *Task, fn func() error) error
 // rule; denials that are I/O failures or injected kills — fail-closed,
 // not policy — are marked RuleFault so replay knows there is no DIFC
 // check behind them.
-func denyEvent(site, op string, tid, proc uint64, err error) telemetry.Event {
+func denyEvent(site, op string, tid, proc, ino uint64, err error) telemetry.Event {
 	e := telemetry.DenyEvent(telemetry.LayerLSM, site, op, tid, proc, err)
+	e.Ino = ino
 	if e.Rule == telemetry.RuleNone && (errors.Is(err, ErrIO) || errors.Is(err, ErrKilled)) {
 		e.Rule = telemetry.RuleFault
 	}
@@ -115,50 +121,50 @@ func denyEvent(site, op string, tid, proc uint64, err error) telemetry.Event {
 }
 
 func (ts *telemetrySec) TaskAlloc(parent, child *Task, keep []Capability) error {
-	return ts.observe("hook.TaskAlloc", "fork", parent, func() error {
+	return ts.observe("hook.TaskAlloc", "fork", parent, 0, func() error {
 		return ts.SecurityModule.TaskAlloc(parent, child, keep)
 	})
 }
 
 func (ts *telemetrySec) InodeInitSecurity(t *Task, dir, inode *Inode, labels *difc.Labels) error {
-	return ts.observe("hook.InodeInitSecurity", "create", t, func() error {
+	return ts.observe("hook.InodeInitSecurity", "create", t, uint64(inode.Ino), func() error {
 		return ts.SecurityModule.InodeInitSecurity(t, dir, inode, labels)
 	})
 }
 
 func (ts *telemetrySec) InodePostCreate(t *Task, dir, inode *Inode) error {
-	return ts.observe("hook.InodePostCreate", "create-persist", t, func() error {
+	return ts.observe("hook.InodePostCreate", "create-persist", t, uint64(inode.Ino), func() error {
 		return ts.SecurityModule.InodePostCreate(t, dir, inode)
 	})
 }
 
 func (ts *telemetrySec) InodePermission(t *Task, inode *Inode, mask AccessMask) error {
-	return ts.observe("hook.InodePermission", maskOp(mask), t, func() error {
+	return ts.observe("hook.InodePermission", maskOp(mask), t, uint64(inode.Ino), func() error {
 		return ts.SecurityModule.InodePermission(t, inode, mask)
 	})
 }
 
 func (ts *telemetrySec) FilePermission(t *Task, f *File, mask AccessMask) error {
-	return ts.observe("hook.FilePermission", maskOp(mask), t, func() error {
+	return ts.observe("hook.FilePermission", maskOp(mask), t, uint64(f.Inode.Ino), func() error {
 		return ts.SecurityModule.FilePermission(t, f, mask)
 	})
 }
 
 func (ts *telemetrySec) MmapFile(t *Task, inode *Inode, prot int) error {
-	return ts.observe("hook.MmapFile", "mmap", t, func() error {
+	return ts.observe("hook.MmapFile", "mmap", t, uint64(inode.Ino), func() error {
 		return ts.SecurityModule.MmapFile(t, inode, prot)
 	})
 }
 
 func (ts *telemetrySec) TaskKill(t *Task, target *Task, sig Signal) error {
-	return ts.observe("hook.TaskKill", "signal", t, func() error {
+	return ts.observe("hook.TaskKill", "signal", t, 0, func() error {
 		return ts.SecurityModule.TaskKill(t, target, sig)
 	})
 }
 
 func (ts *telemetrySec) AllocTag(t *Task) (difc.Tag, error) {
 	var tag difc.Tag
-	err := ts.observe("hook.AllocTag", "alloc_tag", t, func() (e error) {
+	err := ts.observe("hook.AllocTag", "alloc_tag", t, 0, func() (e error) {
 		tag, e = ts.SecurityModule.AllocTag(t)
 		return
 	})
@@ -166,38 +172,38 @@ func (ts *telemetrySec) AllocTag(t *Task) (difc.Tag, error) {
 }
 
 func (ts *telemetrySec) SetTaskLabel(t *Task, typ LabelType, l difc.Label) error {
-	return ts.observe("hook.SetTaskLabel", "set_task_label", t, func() error {
+	return ts.observe("hook.SetTaskLabel", "set_task_label", t, 0, func() error {
 		return ts.SecurityModule.SetTaskLabel(t, typ, l)
 	})
 }
 
 func (ts *telemetrySec) DropLabelTCB(t *Task, target *Task) error {
-	return ts.observe("hook.DropLabelTCB", "drop_label_tcb", t, func() error {
+	return ts.observe("hook.DropLabelTCB", "drop_label_tcb", t, 0, func() error {
 		return ts.SecurityModule.DropLabelTCB(t, target)
 	})
 }
 
 func (ts *telemetrySec) DropCapabilities(t *Task, caps []Capability, tmp bool) error {
-	return ts.observe("hook.DropCapabilities", "drop_capabilities", t, func() error {
+	return ts.observe("hook.DropCapabilities", "drop_capabilities", t, 0, func() error {
 		return ts.SecurityModule.DropCapabilities(t, caps, tmp)
 	})
 }
 
 func (ts *telemetrySec) RestoreCapabilities(t *Task) error {
-	return ts.observe("hook.RestoreCapabilities", "restore_capabilities", t, func() error {
+	return ts.observe("hook.RestoreCapabilities", "restore_capabilities", t, 0, func() error {
 		return ts.SecurityModule.RestoreCapabilities(t)
 	})
 }
 
 func (ts *telemetrySec) WriteCapability(t *Task, cap Capability, f *File) error {
-	return ts.observe("hook.WriteCapability", "write_capability", t, func() error {
+	return ts.observe("hook.WriteCapability", "write_capability", t, uint64(f.Inode.Ino), func() error {
 		return ts.SecurityModule.WriteCapability(t, cap, f)
 	})
 }
 
 func (ts *telemetrySec) ReadCapability(t *Task, f *File) (Capability, error) {
 	var c Capability
-	err := ts.observe("hook.ReadCapability", "read_capability", t, func() (e error) {
+	err := ts.observe("hook.ReadCapability", "read_capability", t, uint64(f.Inode.Ino), func() (e error) {
 		c, e = ts.SecurityModule.ReadCapability(t, f)
 		return
 	})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"laminar/internal/difc"
@@ -41,6 +42,14 @@ type Config struct {
 	Recorder *telemetry.Recorder
 	// NodeID identifies this node in handshakes (diagnostic only).
 	NodeID uint64
+	// Tracing mints a telemetry.TraceCtx for every channel this node
+	// opens and carries it in a versioned trailing extension on the
+	// Open/OpenRouted frame, so every hop's verdict events share one
+	// trace id. Purely observational: the context is derived only from
+	// transport metadata the peer already sees (node id, epoch, an open
+	// counter) and enforcement never reads it — the traced-vs-untraced
+	// differential oracle holds the verdict streams byte-identical.
+	Tracing bool
 
 	// Batching coalesces each flush into a single TCP write.
 	Batching bool
@@ -79,6 +88,11 @@ type RoutedOffer struct {
 	Labels  difc.Labels
 	Meta    []byte
 	File    *kernel.File
+	// Trace is the context the open carried (Traced false when the
+	// origin sent none); a relay hands it onward so the whole route
+	// shares one trace id.
+	Trace  telemetry.TraceCtx
+	Traced bool
 }
 
 // RoutedAction is the Routed handler's verdict on an offer.
@@ -126,6 +140,10 @@ type Node struct {
 	// pumpMu serializes Pump so frame application order is well defined
 	// even when tests and a Run loop overlap.
 	pumpMu sync.Mutex
+
+	// traceSeq numbers the channels this node opens; with the node id it
+	// forms the trace id, so tracing never reads labels or payloads.
+	traceSeq atomic.Uint64
 }
 
 // NewNode builds a node around the kernel; Listen/Open activate it.
@@ -149,7 +167,38 @@ func NewNode(cfg Config) *Node {
 	if rec == nil && cfg.Kernel != nil {
 		rec = cfg.Kernel.Telemetry()
 	}
+	if rec != nil && cfg.NodeID != 0 {
+		// Stamp the recorder with this node's identity so every event it
+		// records is mergeable across nodes. The cluster layer overwrites
+		// this with the persisted incarnation epoch once it is loaded.
+		rec.SetNodeIdentity(cfg.NodeID, 0)
+	}
 	return &Node{cfg: cfg, rec: rec, dialed: make(map[string]*conn)}
+}
+
+// mintTrace builds a fresh trace context. Covert-channel invariant:
+// every field is derivable from data the receiver may already see — the
+// node id travels in each handshake, the incarnation epoch on the
+// control plane, and the counter is as observable as the channel ids the
+// transport assigns. Labels and payloads never influence it.
+func (n *Node) mintTrace() telemetry.TraceCtx {
+	var epoch uint64
+	if n.rec != nil {
+		_, epoch = n.rec.NodeIdentity()
+	}
+	return telemetry.TraceCtx{
+		TraceID:     n.cfg.NodeID<<32 | (n.traceSeq.Add(1) & 0xffffffff),
+		Origin:      n.cfg.NodeID,
+		OriginEpoch: epoch,
+	}
+}
+
+// bindTrace attaches a context to a local endpoint's inode in the
+// recorder's registry — telemetry-only state, never read by enforcement.
+func (n *Node) bindTrace(file *kernel.File, ctx telemetry.TraceCtx) {
+	if n.rec != nil && file != nil {
+		n.rec.BindTrace(uint64(file.Inode.Ino), ctx)
+	}
 }
 
 // Listen starts accepting peer connections on addr (":0" for tests).
@@ -360,8 +409,14 @@ func (n *Node) Open(t *kernel.Task, addr string, labels difc.Labels) (kernel.FD,
 	n.mu.Lock()
 	n.chans = append(n.chans, ch)
 	n.mu.Unlock()
+	payload := AppendLabels(nil, labels)
+	if n.cfg.Tracing {
+		ctx := n.mintTrace()
+		n.bindTrace(file, ctx)
+		payload = AppendTraceExt(payload, ctx.NextHop())
+	}
 	if !c.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameOpen,
-		Channel: id, Payload: AppendLabels(nil, labels)})) {
+		Channel: id, Payload: payload})) {
 		// Queue full or link already dead: the Open is lost in flight.
 		// The descriptor still exists; its sends just never arrive —
 		// indistinguishable, by design, from a flaky network.
@@ -403,7 +458,13 @@ func (n *Node) OpenRouted(t *kernel.Task, addr string, labels difc.Labels, meta 
 	if err != nil {
 		return -1, err
 	}
-	n.sendRoutedOpen(c, file, labels, meta)
+	var tr *telemetry.TraceCtx
+	if n.cfg.Tracing {
+		ctx := n.mintTrace()
+		n.bindTrace(file, ctx)
+		tr = &ctx
+	}
+	n.sendRoutedOpen(c, file, labels, meta, tr)
 	return fd, nil
 }
 
@@ -413,7 +474,11 @@ func (n *Node) OpenRouted(t *kernel.Task, addr string, labels difc.Labels, meta 
 // attaches them itself, mirroring NetSocketAdopted on the accept side.
 // Per-hop policy is enforced where it belongs: on the relay task's
 // checked Recv/Send between the two adopted endpoints.
-func (n *Node) OpenRoutedAdopted(addr string, labels difc.Labels, meta []byte) (*kernel.File, error) {
+//
+// trace, when non-nil, is the context the inbound leg carried: it is
+// bound to the outbound endpoint (so this hop's Send verdicts share the
+// trace id) and travels onward bumped by one hop.
+func (n *Node) OpenRoutedAdopted(addr string, labels difc.Labels, meta []byte, trace *telemetry.TraceCtx) (*kernel.File, error) {
 	labels = difc.InternLabels(labels)
 	c, err := n.dial(addr)
 	if err != nil {
@@ -424,18 +489,25 @@ func (n *Node) OpenRoutedAdopted(addr string, labels difc.Labels, meta []byte) (
 			n.cfg.Module.AdoptInodeLabels(ino, labels)
 		}
 	})
-	n.sendRoutedOpen(c, file, labels, meta)
+	if trace != nil {
+		n.bindTrace(file, *trace)
+	}
+	n.sendRoutedOpen(c, file, labels, meta, trace)
 	return file, nil
 }
 
-func (n *Node) sendRoutedOpen(c *conn, file *kernel.File, labels difc.Labels, meta []byte) {
+func (n *Node) sendRoutedOpen(c *conn, file *kernel.File, labels difc.Labels, meta []byte, trace *telemetry.TraceCtx) {
 	id := c.allocChan()
 	ch := &channel{conn: c, id: id, file: file, labels: labels}
 	n.mu.Lock()
 	n.chans = append(n.chans, ch)
 	n.mu.Unlock()
+	payload := AppendRoutedOpen(nil, labels, meta)
+	if trace != nil {
+		payload = AppendTraceExt(payload, trace.NextHop())
+	}
 	if !c.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameOpenRouted,
-		Channel: id, Payload: AppendRoutedOpen(nil, labels, meta)})) {
+		Channel: id, Payload: payload})) {
 		n.count("net.open.dropped", 1)
 	}
 	c.flush()
@@ -469,10 +541,17 @@ func (n *Node) Pump() int {
 	conns := append([]*conn(nil), n.conns...)
 	n.mu.Unlock()
 	work := 0
+	observe := n.rec != nil && n.rec.Active()
 	for _, c := range conns {
 		for _, f := range c.takeInbox() {
 			work++
-			n.apply(c, f)
+			if observe {
+				t0 := time.Now()
+				n.apply(c, f)
+				n.rec.M.ObserveLayer(telemetry.LayerNet, time.Since(t0))
+			} else {
+				n.apply(c, f)
+			}
 		}
 	}
 	n.mu.Lock()
@@ -518,10 +597,14 @@ func (n *Node) apply(c *conn, f Frame) {
 			n.count("net.open.lost", 1)
 			return
 		}
-		labels, _, err := ParseLabels(f.Payload)
+		labels, consumed, err := ParseLabels(f.Payload)
 		if err != nil {
 			n.deny("netd.open", "labels", err)
 			c.kill()
+			return
+		}
+		tctx, traced, ok := n.parseOpenExt(c, f.Payload[consumed:])
+		if !ok {
 			return
 		}
 		labels = difc.InternLabels(labels)
@@ -530,6 +613,9 @@ func (n *Node) apply(c *conn, f Frame) {
 				n.cfg.Module.AdoptInodeLabels(ino, labels)
 			}
 		})
+		if traced {
+			n.bindTrace(file, tctx)
+		}
 		ch := &channel{conn: c, id: f.Channel, file: file, labels: labels, accepted: true}
 		n.mu.Lock()
 		n.chans = append(n.chans, ch)
@@ -572,10 +658,14 @@ func (n *Node) apply(c *conn, f Frame) {
 			n.count("net.open.lost", 1)
 			return
 		}
-		labels, meta, err := ParseRoutedOpen(f.Payload)
+		labels, meta, ext, err := ParseRoutedOpen(f.Payload)
 		if err != nil {
 			n.deny("netd.open", "labels", err)
 			c.kill()
+			return
+		}
+		tctx, traced, ok := n.parseOpenExt(c, ext)
+		if !ok {
 			return
 		}
 		if n.cfg.Routed == nil {
@@ -588,9 +678,12 @@ func (n *Node) apply(c *conn, f Frame) {
 				n.cfg.Module.AdoptInodeLabels(ino, labels)
 			}
 		})
+		if traced {
+			n.bindTrace(file, tctx)
+		}
 		ch := &channel{conn: c, id: f.Channel, file: file, labels: labels, accepted: true}
 		switch n.cfg.Routed(RoutedOffer{PeerID: c.peerID, Channel: f.Channel,
-			Labels: labels, Meta: meta, File: file}) {
+			Labels: labels, Meta: meta, File: file, Trace: tctx, Traced: traced}) {
 		case RoutedDeliver:
 			n.mu.Lock()
 			n.chans = append(n.chans, ch)
@@ -612,6 +705,25 @@ func (n *Node) apply(c *conn, f Frame) {
 		n.deny("netd.frame", "unexpected", fmt.Errorf("%s frame outside handshake", f.Type))
 		c.kill()
 	}
+}
+
+// parseOpenExt decodes the trailing extension region of an Open or
+// OpenRouted payload. An unknown extension VERSION refuses just this
+// open fail-closed — a future peer is not an attacker, the connection
+// stands — while structurally broken bytes kill the link like any other
+// malformed frame. ok=false means the caller must drop the open.
+func (n *Node) parseOpenExt(c *conn, ext []byte) (telemetry.TraceCtx, bool, bool) {
+	tctx, traced, err := ParseTraceExt(ext)
+	if err == nil {
+		return tctx, traced, true
+	}
+	n.deny("netd.open", "trace-ext", err)
+	if errors.Is(err, ErrTraceVersion) {
+		n.count("net.open.ext-refused", 1)
+		return telemetry.TraceCtx{}, false, false
+	}
+	c.kill()
+	return telemetry.TraceCtx{}, false, false
 }
 
 func (n *Node) findChan(c *conn, id uint32) *channel {

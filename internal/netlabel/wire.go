@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"laminar/internal/difc"
+	"laminar/internal/telemetry"
 )
 
 // Wire constants.
@@ -220,21 +221,89 @@ func AppendRoutedOpen(dst []byte, l difc.Labels, meta []byte) []byte {
 	return append(dst, meta...)
 }
 
-// ParseRoutedOpen decodes an OpenRouted payload. The meta blob is copied.
-func ParseRoutedOpen(b []byte) (difc.Labels, []byte, error) {
+// ParseRoutedOpen decodes an OpenRouted payload. The meta blob is
+// copied. Bytes after the meta blob are returned as ext — the region
+// versioned extensions (the trace context) occupy; ParseTraceExt decides
+// whether that region is acceptable, so an empty tail stays valid for
+// peers that send none.
+func ParseRoutedOpen(b []byte) (difc.Labels, []byte, []byte, error) {
 	labels, n, err := ParseLabels(b)
 	if err != nil {
-		return difc.Labels{}, nil, err
+		return difc.Labels{}, nil, nil, err
 	}
 	rest := b[n:]
 	if len(rest) < 4 {
-		return difc.Labels{}, nil, fmt.Errorf("%w: truncated routed-open meta header", ErrMalformed)
+		return difc.Labels{}, nil, nil, fmt.Errorf("%w: truncated routed-open meta header", ErrMalformed)
 	}
 	m := binary.BigEndian.Uint32(rest)
-	if int(m) != len(rest)-4 {
-		return difc.Labels{}, nil, fmt.Errorf("%w: routed-open meta length %d, have %d", ErrMalformed, m, len(rest)-4)
+	if int(m) > len(rest)-4 {
+		return difc.Labels{}, nil, nil, fmt.Errorf("%w: routed-open meta length %d, have %d", ErrMalformed, m, len(rest)-4)
 	}
-	return labels, append([]byte(nil), rest[4:]...), nil
+	meta := append([]byte(nil), rest[4:4+m]...)
+	return labels, meta, rest[4+m:], nil
+}
+
+// Trace extension: an optional, versioned trailing block on Open and
+// OpenRouted payloads carrying the telemetry trace context (DESIGN.md
+// §16). Layout: magic 'T' u8 | ext version u8 | trace id u64 | hop u8 |
+// origin node u64 | origin epoch u64.
+//
+// Compatibility is deliberately asymmetric: an ABSENT extension is fine
+// (old peers never send one), but a PRESENT extension must parse — a
+// recognized magic with an unknown version fails with ErrTraceVersion so
+// the receiver can refuse just that open (a future peer is not an
+// attacker; the rest of the connection stands), while structurally
+// broken bytes are ErrMalformed like any other hostile frame.
+const (
+	traceExtMagic byte = 'T'
+	// TraceExtVersion is the trace extension version this build writes.
+	TraceExtVersion byte = 1
+	traceExtSize         = 27
+)
+
+// ErrTraceVersion reports a trace extension from a newer build: the
+// carrying open is refused fail-closed, the connection survives.
+var ErrTraceVersion = errors.New("netlabel: unsupported trace extension version")
+
+// AppendTraceExt encodes the trace context as a trailing extension.
+func AppendTraceExt(dst []byte, ctx telemetry.TraceCtx) []byte {
+	var p [traceExtSize]byte
+	p[0] = traceExtMagic
+	p[1] = TraceExtVersion
+	binary.BigEndian.PutUint64(p[2:], ctx.TraceID)
+	p[10] = ctx.Hop
+	binary.BigEndian.PutUint64(p[11:], ctx.Origin)
+	binary.BigEndian.PutUint64(p[19:], ctx.OriginEpoch)
+	return append(dst, p[:]...)
+}
+
+// ParseTraceExt decodes the extension region of an Open/OpenRouted
+// payload. An empty region means no context (ok=false, no error); an
+// unknown version is ErrTraceVersion; anything else that does not parse
+// exactly is ErrMalformed.
+func ParseTraceExt(b []byte) (telemetry.TraceCtx, bool, error) {
+	if len(b) == 0 {
+		return telemetry.TraceCtx{}, false, nil
+	}
+	if b[0] != traceExtMagic {
+		return telemetry.TraceCtx{}, false, fmt.Errorf("%w: unknown open extension %#x", ErrMalformed, b[0])
+	}
+	if len(b) < 2 {
+		return telemetry.TraceCtx{}, false, fmt.Errorf("%w: truncated trace extension", ErrMalformed)
+	}
+	if b[1] != TraceExtVersion {
+		return telemetry.TraceCtx{}, false, fmt.Errorf("%w %d (speak %d)", ErrTraceVersion, b[1], TraceExtVersion)
+	}
+	if len(b) != traceExtSize {
+		return telemetry.TraceCtx{}, false, fmt.Errorf("%w: trace extension %d bytes, want %d", ErrMalformed, len(b), traceExtSize)
+	}
+	ctx := telemetry.TraceCtx{
+		TraceID:     binary.BigEndian.Uint64(b[2:]),
+		Hop:         b[10],
+		Origin:      binary.BigEndian.Uint64(b[11:]),
+		OriginEpoch: binary.BigEndian.Uint64(b[19:]),
+	}
+	return ctx, ctx.TraceID != 0, nil
 }
 
 // helloPayload is the handshake body: the speaker's protocol version

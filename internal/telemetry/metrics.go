@@ -134,6 +134,19 @@ type Metrics struct {
 	Hooks       CounterVec // per LSM-hook call counts, keyed by site
 	Extra       CounterVec // free-form series: rt barriers, jvm checks, ...
 	HookLatency Histogram  // latency across all LSM hook invocations
+
+	// LayerLatency attributes enforcement latency to the layered
+	// monitors: one histogram per Layer (hook dispatch for LSM, frame
+	// apply for Net, control handling for Cluster, ...), the raw data
+	// behind cluster-wide per-layer p99 SLOs.
+	LayerLatency [LayerCluster + 1]Histogram
+}
+
+// ObserveLayer records one duration against a layer's latency histogram.
+func (m *Metrics) ObserveLayer(l Layer, d time.Duration) {
+	if int(l) < len(m.LayerLatency) {
+		m.LayerLatency[l].Observe(d)
+	}
 }
 
 // Reset zeroes the whole block. For tests and bench warmup; not safe
@@ -157,7 +170,8 @@ type MetricsSnapshot struct {
 	Hooks map[string]uint64 `json:"hooks,omitempty"`
 	Extra map[string]uint64 `json:"extra,omitempty"`
 
-	HookLatency []HistBucket `json:"hook_latency,omitempty"`
+	HookLatency  []HistBucket            `json:"hook_latency,omitempty"`
+	LayerLatency map[string][]HistBucket `json:"layer_latency,omitempty"`
 
 	FlowCacheHits      uint64 `json:"flow_cache_hits"`
 	FlowCacheMisses    uint64 `json:"flow_cache_misses"`
@@ -188,6 +202,15 @@ func (r *Recorder) MetricsSnapshot() MetricsSnapshot {
 		if n := r.M.denialsByRule[rule].Load(); n > 0 {
 			s.DenialsByRule[Rule(rule).String()] = n
 		}
+	}
+	for l := range r.M.LayerLatency {
+		if r.M.LayerLatency[l].Count() == 0 {
+			continue
+		}
+		if s.LayerLatency == nil {
+			s.LayerLatency = map[string][]HistBucket{}
+		}
+		s.LayerLatency[Layer(l).String()] = r.M.LayerLatency[l].snapshot()
 	}
 	s.FlowCacheHits, s.FlowCacheMisses, s.FlowCacheEvictions = difc.FlowCacheStats()
 	s.InternHits, s.InternMisses = difc.InternStats()
@@ -226,6 +249,15 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 		p("laminar_hook_latency_ns_bucket{le=\"%d\"} %d\n", b.UpperNS, cum)
 	}
 	p("laminar_hook_latency_ns_count %d\n", cum)
+	p("# TYPE laminar_layer_latency_ns histogram\n")
+	for _, layer := range sortedKeys2(s.LayerLatency) {
+		var lcum uint64
+		for _, b := range s.LayerLatency[layer] {
+			lcum += b.Count
+			p("laminar_layer_latency_ns_bucket{layer=%q,le=\"%d\"} %d\n", layer, b.UpperNS, lcum)
+		}
+		p("laminar_layer_latency_ns_count{layer=%q} %d\n", layer, lcum)
+	}
 	p("laminar_flow_cache_hits_total %d\n", s.FlowCacheHits)
 	p("laminar_flow_cache_misses_total %d\n", s.FlowCacheMisses)
 	p("laminar_flow_cache_evictions_total %d\n", s.FlowCacheEvictions)
@@ -237,6 +269,15 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 }
 
 func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeys2(m map[string][]HistBucket) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -72,12 +72,12 @@ type Layer uint8
 
 // Enforcement layers.
 const (
-	LayerKernel Layer = iota // syscall layer (hook call sites)
-	LayerLSM                 // the Laminar security module itself
-	LayerRT                  // the trusted VM runtime (regions, barriers)
-	LayerJVM                 // the MiniJVM substrate
-	LayerNet                 // the cross-kernel labeled transport (netlabel)
-	LayerCluster             // the cluster label plane (membership, epochs, changes)
+	LayerKernel  Layer = iota // syscall layer (hook call sites)
+	LayerLSM                  // the Laminar security module itself
+	LayerRT                   // the trusted VM runtime (regions, barriers)
+	LayerJVM                  // the MiniJVM substrate
+	LayerNet                  // the cross-kernel labeled transport (netlabel)
+	LayerCluster              // the cluster label plane (membership, epochs, changes)
 )
 
 // String names the layer.
@@ -227,6 +227,15 @@ type Event struct {
 	Seq  uint64 // recorder-global sequence number (total order)
 	TID  uint64 // acting kernel task, 0 when no task is involved
 	Proc uint64 // acting task's process id (VM audit adapters filter on it)
+	Ino  uint64 // inode the check concerned (trace binding key), 0 when none
+
+	Node      uint64 // emitting node id (stamped by Emit), 0 standalone
+	NodeEpoch uint64 // emitting node's incarnation epoch
+
+	TraceID     uint64 // cross-hop trace id (stamped by Emit), 0 untraced
+	TraceHop    uint8  // hops from the trace origin to this node
+	TraceOrigin uint64 // trace-minting node id
+	TraceEpoch  uint64 // trace-minting node's incarnation epoch
 
 	Layer Layer
 	Kind  Kind
@@ -294,6 +303,14 @@ type Recorder struct {
 	seq   atomic.Uint64
 	rings [ringShards]ring
 
+	// Node identity and the trace registry (trace.go). Telemetry-only
+	// state: enforcement never reads these, so binding a trace cannot
+	// perturb a verdict.
+	nodeID     atomic.Uint64
+	nodeEpoch  atomic.Uint64
+	traceBound atomic.Int64
+	traces     traceReg
+
 	M Metrics
 
 	subMu sync.Mutex
@@ -356,6 +373,7 @@ func (r *Recorder) Subscribe(fn func(Event)) func() {
 // single code path.
 func (r *Recorder) Emit(e Event) {
 	e.Seq = r.seq.Add(1)
+	r.stampTrace(&e)
 	r.record(&e)
 	r.M.events.Inc(e.TID)
 	if e.Kind == KindDeny {

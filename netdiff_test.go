@@ -162,8 +162,10 @@ func netdiffOps(t *testing.T, ka, kb *kernel.Kernel,
 }
 
 // netdiffRemote runs the script across two kernels over localhost TCP
-// with seeded link faults, returning the verdict stream and t1.
-func netdiffRemote(t *testing.T, seed int64, bigLock bool) (string, difc.Tag) {
+// with seeded link faults, returning the verdict stream and t1. With
+// tracing on, every open mints and propagates a trace context — which
+// must not perturb the stream (see tracediff_test.go).
+func netdiffRemote(t *testing.T, seed int64, bigLock, tracing bool) (string, difc.Tag) {
 	t.Helper()
 	a := netdiffBoot(t, bigLock)
 	b := netdiffBoot(t, bigLock)
@@ -173,8 +175,8 @@ func netdiffRemote(t *testing.T, seed int64, bigLock bool) (string, difc.Tag) {
 	planB := faultinject.NewPlan(seed + 7919)
 	planB.SetRates("net.", netdiffRates)
 
-	nodeA := netlabel.NewNode(netlabel.Config{Kernel: a.k, Module: a.mod, Recorder: a.rec, Injector: planA, NodeID: 1})
-	nodeB := netlabel.NewNode(netlabel.Config{Kernel: b.k, Module: b.mod, Recorder: b.rec, Injector: planB, NodeID: 2})
+	nodeA := netlabel.NewNode(netlabel.Config{Kernel: a.k, Module: a.mod, Recorder: a.rec, Injector: planA, NodeID: 1, Tracing: tracing})
+	nodeB := netlabel.NewNode(netlabel.Config{Kernel: b.k, Module: b.mod, Recorder: b.rec, Injector: planB, NodeID: 2, Tracing: tracing})
 	if err := nodeA.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +294,7 @@ func TestNetDifferentialOracle(t *testing.T) {
 				seed := seed
 				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 					t.Parallel()
-					got, gotT1 := netdiffRemote(t, seed, mode.bigLock)
+					got, gotT1 := netdiffRemote(t, seed, mode.bigLock, false)
 					if gotT1 != wantT1 {
 						t.Fatalf("tag allocation diverged: remote t1=%d, replay t1=%d", gotT1, wantT1)
 					}

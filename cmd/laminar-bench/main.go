@@ -57,6 +57,10 @@ func main() {
 		telem     = flag.Bool("telemetry", false, "telemetry overhead: storms under baseline/off/deny/all recording")
 		telJSON   = flag.String("teljson", "BENCH_telemetry.json", "where -telemetry writes its JSON result")
 		telGate   = flag.Bool("telgate", false, "with -telemetry: exit nonzero if disabled-path overhead exceeds the 2% gate")
+		budg      = flag.Bool("budget", false, "flow-budget charging overhead on the labeled netd hot path + zipfian tenant-contention table")
+		budgMsgs  = flag.Int("budgetmsgs", 4000, "messages per budget-bench cell")
+		budgJSON  = flag.String("budgetjson", "BENCH_budget.json", "where -budget writes its JSON result")
+		budgGate  = flag.Bool("budgetgate", false, "with -budget: exit nonzero if unexhausted-charge overhead exceeds the 1.05x gate")
 		trace     = flag.Bool("trace", false, "flow-tracing overhead on the netd hot path (bare/off/on)")
 		traceMsgs = flag.Int("tracemsgs", 4000, "messages per trace-bench cell")
 		traceJSON = flag.String("tracejson", "BENCH_trace.json", "where -trace writes its JSON result")
@@ -262,6 +266,29 @@ func main() {
 		if *telGate && !rep.Pass {
 			fmt.Fprintf(os.Stderr, "laminar-bench: telemetry disabled-path overhead %.3fx exceeds %.2fx gate\n",
 				rep.HeadlineOff, rep.GateMax)
+			os.Exit(1)
+		}
+	}
+	if *all || *budg {
+		ran = true
+		rep, err := eval.Budget(*budgMsgs, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Format())
+		if *budgJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*budgJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *budgJSON)
+		}
+		if *budgGate && !rep.Pass {
+			fmt.Fprintf(os.Stderr, "laminar-bench: unexhausted budget-charge overhead %.3fx exceeds %.2fx gate\n",
+				rep.Overhead, rep.Gate)
 			os.Exit(1)
 		}
 	}

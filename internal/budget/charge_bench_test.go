@@ -1,0 +1,36 @@
+package budget
+
+import (
+	"testing"
+
+	"laminar/internal/difc"
+)
+
+// The charge hot path backs the laminar-bench -budgetgate ceiling
+// (DESIGN.md §17): on a memory-only ledger an unexhausted ChargeLabel
+// must stay lock-free and allocation-free. Run with -benchmem; the
+// allocs/op column is the regression to watch.
+
+func BenchmarkChargeLabel(b *testing.B) {
+	l := New()
+	l.SetLimit(difc.Tag(7), 0, 1<<62)
+	lab := difc.NewLabel(difc.Tag(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.ChargeLabel("send", lab, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChargeLabelUntracked(b *testing.B) {
+	l := New()
+	l.SetLimit(difc.Tag(9), 0, 1<<62)
+	lab := difc.NewLabel(difc.Tag(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.ChargeLabel("send", lab, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

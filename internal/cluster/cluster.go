@@ -93,8 +93,9 @@ type Cluster struct {
 
 	changes    map[uint64]*Change
 	nextChange uint64
-	stepDefs   map[string][]stepDef
-	stats      map[uint64]peerStats // latest snapshot heard per peer
+	stepDefs    map[string][]stepDef
+	stats       map[uint64]peerStats  // latest snapshot heard per peer
+	budgetFacts map[uint64]peerBudget // latest budget facts heard per peer
 
 	relays    []*relay
 	ranges    []authRange
@@ -235,6 +236,7 @@ func (c *Cluster) Tick() int {
 		c.broadcastStats() // unlocks around the sends
 	}
 	c.detect()
+	c.sweepStats()
 	c.mu.Unlock()
 	moved := c.pumpRelays()
 	c.mu.Lock()

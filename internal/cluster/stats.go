@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"laminar/internal/budget"
 	"laminar/internal/telemetry"
 )
 
@@ -17,15 +18,48 @@ import (
 // one cluster-wide view, marking slices from suspect/dead peers or
 // superseded epochs as stale rather than dropping them — their counts
 // happened; they just stopped moving.
+//
+// Staleness is marked, not kept forever: a peer that goes dead (detector
+// or orderly leave) keeps its cached slices — stale-labeled — for one
+// more merge cycle (StatsEvery ticks), then the sweep evicts them. A
+// long-running cluster that churns members no longer grows its caches
+// without bound (ISSUE 10); the postmortem window where "dead" and
+// "epoch N < M" reasons are visible is preserved.
+//
+// Since ISSUE 10 the same frame optionally carries the sender's budget
+// fact set; receivers fold it into their own ledger with the semilattice
+// merge (spent=max, limit=min, higher epoch wins), which makes the
+// cluster-wide spend monotone and order-independent, and cache the raw
+// facts per peer under the same eviction rule as the stats cache.
 
 // peerStats is the latest snapshot heard from one peer.
 type peerStats struct {
-	epoch uint64 // sender's incarnation epoch at send time
-	tick  uint64 // receiver's tick when heard
-	snap  telemetry.MetricsSnapshot
+	epoch    uint64 // sender's incarnation epoch at send time
+	tick     uint64 // receiver's tick when heard
+	deadTick uint64 // tick the sweep first saw the peer dead; 0 = live
+	snap     telemetry.MetricsSnapshot
 }
 
-// onStats caches a peer's snapshot broadcast. locked.
+// peerBudget is the latest budget fact set heard from one peer, cached
+// under the same staleness/eviction rules as peerStats.
+type peerBudget struct {
+	epoch    uint64
+	tick     uint64
+	deadTick uint64
+	facts    map[budget.Key]budget.Fact
+}
+
+// ledger returns the local kernel's budget ledger, nil when the node
+// runs unbudgeted (or, in codec-only tests, kernel-less).
+func (c *Cluster) ledger() *budget.Ledger {
+	if c.cfg.Kernel == nil {
+		return nil
+	}
+	return c.cfg.Kernel.Budget()
+}
+
+// onStats caches a peer's snapshot broadcast and merges any attached
+// budget facts into the local ledger. locked.
 func (c *Cluster) onStats(m ctrlMsg) {
 	var snap telemetry.MetricsSnapshot
 	if err := json.Unmarshal(m.Blob, &snap); err != nil {
@@ -37,9 +71,30 @@ func (c *Cluster) onStats(m ctrlMsg) {
 	}
 	c.stats[m.From] = peerStats{epoch: m.Epoch, tick: c.now, snap: snap}
 	c.count("cluster.stats.heard", 1)
+	if len(m.Budget) == 0 {
+		return
+	}
+	facts, err := budget.DecodeFacts(m.Budget)
+	if err != nil {
+		// The stats slice stood on its own; the fact blob did not. Drop
+		// only the facts, with provenance — a half-parsed fact set must
+		// never half-merge.
+		c.denyEvent("cluster.budget", "decode", err)
+		return
+	}
+	if c.budgetFacts == nil {
+		c.budgetFacts = make(map[uint64]peerBudget)
+	}
+	c.budgetFacts[m.From] = peerBudget{epoch: m.Epoch, tick: c.now, facts: facts}
+	if led := c.ledger(); led != nil {
+		if n := led.MergeFacts(facts); n > 0 {
+			c.count("cluster.budget.merged", n)
+		}
+	}
 }
 
-// broadcastStats sends the local metrics snapshot to every alive member.
+// broadcastStats sends the local metrics snapshot — and the local budget
+// fact set, when a ledger is installed — to every alive member.
 // locked on entry; unlocks around the sends (the heartbeat idiom).
 func (c *Cluster) broadcastStats() {
 	if c.rec == nil {
@@ -49,8 +104,14 @@ func (c *Cluster) broadcastStats() {
 	if err != nil {
 		return
 	}
+	var factsBlob []byte
+	if led := c.ledger(); led != nil {
+		if b := led.ExportFacts(); len(b) <= budget.MaxFactsBlob {
+			factsBlob = b
+		}
+	}
 	msg := encodeCtrl(ctrlMsg{Type: msgStats, From: c.cfg.ID, Epoch: c.epoch,
-		Addr: c.node.Addr(), Blob: blob})
+		Addr: c.node.Addr(), Blob: blob, Budget: factsBlob})
 	targets := make([]string, 0, len(c.members))
 	for _, m := range c.members {
 		if m.state == StateAlive {
@@ -63,6 +124,74 @@ func (c *Cluster) broadcastStats() {
 		c.node.SendControl(addr, msg)
 	}
 	c.mu.Lock()
+}
+
+// sweepStats ages the per-peer caches: a peer the membership calls dead
+// (or has forgotten) keeps its slices for one merge cycle — so a
+// postmortem ClusterSnapshot still shows the labeled last numbers — and
+// is then evicted from both caches. A peer that comes back (restart
+// under a bumped epoch) un-marks before the cycle elapses. locked.
+func (c *Cluster) sweepStats() {
+	retain := uint64(c.cfg.StatsEvery)
+	for id, ps := range c.stats {
+		m, known := c.members[id]
+		dead := !known || m.state == StateDead
+		switch {
+		case !dead:
+			if ps.deadTick != 0 {
+				ps.deadTick = 0
+				c.stats[id] = ps
+			}
+		case ps.deadTick == 0:
+			ps.deadTick = c.now
+			c.stats[id] = ps
+		case c.now-ps.deadTick >= retain:
+			delete(c.stats, id)
+			c.count("cluster.stats.evicted", 1)
+		}
+	}
+	for id, pb := range c.budgetFacts {
+		m, known := c.members[id]
+		dead := !known || m.state == StateDead
+		switch {
+		case !dead:
+			if pb.deadTick != 0 {
+				pb.deadTick = 0
+				c.budgetFacts[id] = pb
+			}
+		case pb.deadTick == 0:
+			pb.deadTick = c.now
+			c.budgetFacts[id] = pb
+		case c.now-pb.deadTick >= retain:
+			delete(c.budgetFacts, id)
+			c.count("cluster.budget.evicted", 1)
+		}
+	}
+}
+
+// PeerBudgetFacts returns the cached fact set last heard from one peer
+// (nil when none is cached) — the merged truth lives in the ledger; this
+// is the per-peer provenance view.
+func (c *Cluster) PeerBudgetFacts(id uint64) map[budget.Key]budget.Fact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pb, ok := c.budgetFacts[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[budget.Key]budget.Fact, len(pb.facts))
+	for k, f := range pb.facts {
+		out[k] = f
+	}
+	return out
+}
+
+// StatsCacheSize reports the cached peer counts (stats, budget) — the
+// quantity the ISSUE 10 eviction keeps bounded.
+func (c *Cluster) StatsCacheSize() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stats), len(c.budgetFacts)
 }
 
 // ClusterSnapshot merges the live local snapshot with every cached peer

@@ -6,6 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"laminar/internal/budget"
+	"laminar/internal/difc"
+	"laminar/internal/kernel"
+	"laminar/internal/kernel/lsm"
 	"laminar/internal/telemetry"
 )
 
@@ -184,5 +188,156 @@ func TestStatsBlobDecodeFailureIsProvenance(t *testing.T) {
 	}
 	if len(n1.cl.ClusterSnapshot().Nodes) != 1 {
 		t.Fatal("undecodable stats blob was cached")
+	}
+}
+
+// TestStatsCtrlCodecBudgetBlob: the optional second blob (ISSUE 10
+// budget facts) round-trips, its absence is the valid pre-budget frame,
+// and its framing is as strict as the stats blob's.
+func TestStatsCtrlCodecBudgetBlob(t *testing.T) {
+	led := budget.New()
+	led.SetLimit(difc.Tag(7), 2, 100)
+	led.Charge("send", difc.Tag(7), 2, 5)
+	facts := led.ExportFacts()
+
+	in := ctrlMsg{Type: msgStats, From: 2, Epoch: 5, Blob: []byte("{}"), Budget: facts}
+	out, err := parseCtrl(encodeCtrl(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Budget, facts) {
+		t.Fatalf("budget blob round trip = %x, want %x", out.Budget, facts)
+	}
+	dec, err := budget.DecodeFacts(out.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := dec[budget.Key{Tag: 7, Peer: 2}]; f.Spent != 5 || f.Limit != 100 {
+		t.Fatalf("decoded fact %+v", f)
+	}
+
+	// Absent second blob = pre-budget frame: parses, Budget nil.
+	old, err := parseCtrl(encodeCtrl(ctrlMsg{Type: msgStats, From: 1, Epoch: 1, Blob: []byte("{}")}))
+	if err != nil || old.Budget != nil {
+		t.Fatalf("pre-budget frame: %v budget=%x", err, old.Budget)
+	}
+
+	// Strictness: trailing bytes after the budget blob, torn headers and
+	// short bodies all reject the frame.
+	good := encodeCtrl(in)
+	for name, b := range map[string][]byte{
+		"trailing bytes":     append(append([]byte(nil), good...), 0xAA),
+		"torn budget header": good[:len(good)-len(facts)-2],
+		"short budget body":  good[:len(good)-1],
+	} {
+		if _, err := parseCtrl(b); !errors.Is(err, ErrCtrlMalformed) {
+			t.Errorf("%s: err = %v, want ErrCtrlMalformed", name, err)
+		}
+	}
+}
+
+// bootBudgetCluster is bootCluster with a flow-budget ledger installed
+// on the kernel.
+func bootBudgetCluster(t *testing.T, cfg Config, led *budget.Ledger) *testClusterNode {
+	t.Helper()
+	mod := lsm.New()
+	rec := telemetry.NewRecorder()
+	rec.SetLevel(telemetry.LevelDeny)
+	k := kernel.New(kernel.WithSecurityModule(mod), kernel.WithTelemetry(rec),
+		kernel.WithBudget(led))
+	mod.InstallSystemIntegrity(k)
+	mod.SetTelemetry(rec)
+	user, err := k.Spawn(k.InitTask(), []kernel.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Kernel, cfg.Module, cfg.Recorder = k, mod, rec
+	c := New(cfg)
+	if err := c.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return &testClusterNode{k: k, mod: mod, user: user, rec: rec, cl: c}
+}
+
+// TestBudgetFactsGossip: facts ride the stats frame and semilattice-merge
+// into every peer's ledger — the cluster-wide spend is monotone.
+func TestBudgetFactsGossip(t *testing.T) {
+	led1, led2 := budget.New(), budget.New()
+	n1 := bootBudgetCluster(t, Config{ID: 1}, led1)
+	if _, err := n1.cl.Join(); err != nil {
+		t.Fatal(err)
+	}
+	n2 := bootBudgetCluster(t, Config{ID: 2, Seeds: []string{n1.cl.Addr()}}, led2)
+	if _, err := n2.cl.Join(); err != nil {
+		t.Fatal(err)
+	}
+	tickUntil(t, func() bool {
+		return n1.cl.Converged(1, 2) && n2.cl.Converged(1, 2) && n1.cl.Joined() && n2.cl.Joined()
+	}, n1, n2)
+
+	led1.SetLimit(difc.Tag(40), 2, 100)
+	led1.Charge("send", difc.Tag(40), 2, 30)
+
+	tickUntil(t, func() bool {
+		f, ok := led2.Fact(difc.Tag(40), 2)
+		return ok && f.Spent >= 30 && f.Limit == 100
+	}, n1, n2)
+
+	// The receiver cached the per-peer provenance view too.
+	if facts := n2.cl.PeerBudgetFacts(1); facts[budget.Key{Tag: 40, Peer: 2}].Spent < 30 {
+		t.Fatalf("peer fact cache = %+v", facts)
+	}
+
+	// Spend on node 2 flows back: merged spent takes the max.
+	led2.Charge("send", difc.Tag(40), 2, 50)
+	tickUntil(t, func() bool {
+		f, _ := led1.Fact(difc.Tag(40), 2)
+		return f.Spent >= 80
+	}, n1, n2)
+}
+
+// TestStatsEvictionOnDeath (ISSUE 10 leak fix): a dead peer's cached
+// stats and budget facts survive, stale-labeled, for one merge cycle and
+// are then evicted — long-running clusters stop growing their caches.
+func TestStatsEvictionOnDeath(t *testing.T) {
+	nodes := formCluster(t, 3)
+	n1, n2, n3 := nodes[0], nodes[1], nodes[2]
+	tickUntil(t, func() bool {
+		s, _ := n1.cl.StatsCacheSize()
+		return s >= 2
+	}, nodes...)
+
+	n3.cl.Close()
+	tickUntil(t, func() bool { return n1.cl.State(3) == StateDead }, n1, n2)
+
+	// Immediately after the dead verdict the slice is still cached and
+	// stale-labeled — the postmortem window.
+	foundStale := false
+	for _, ns := range n1.cl.ClusterSnapshot().Nodes {
+		if ns.Node == 3 && ns.Stale {
+			foundStale = true
+		}
+	}
+	if !foundStale {
+		t.Fatal("dead peer's slice missing from the postmortem window")
+	}
+
+	// One merge cycle later it is gone.
+	tickUntil(t, func() bool {
+		n1.cl.mu.Lock()
+		_, cached := n1.cl.stats[3]
+		n1.cl.mu.Unlock()
+		return !cached
+	}, n1, n2)
+	if n1.rec.M.Extra.Get("cluster.stats.evicted").Load() == 0 {
+		t.Fatal("eviction not counted")
+	}
+	// Node 2 survives untouched in the cache.
+	n1.cl.mu.Lock()
+	_, n2cached := n1.cl.stats[2]
+	n1.cl.mu.Unlock()
+	if !n2cached {
+		t.Fatal("alive peer evicted")
 	}
 }

@@ -73,6 +73,7 @@ type ctrlMsg struct {
 	Members []memberWire // ping / join-ack gossip
 	Ranges  []authRange  // authority broadcasts
 	Blob    []byte       // msgStats only: JSON metrics snapshot
+	Budget  []byte       // msgStats only, optional: budget fact set (ISSUE 10)
 }
 
 const maxCtrlString = 256
@@ -123,6 +124,15 @@ func encodeCtrl(m ctrlMsg) []byte {
 	if m.Type == msgStats {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Blob)))
 		buf = append(buf, m.Blob...)
+		// The budget fact set rides as a SECOND length-prefixed blob,
+		// appended only when present: a pre-budget peer parsing the frame
+		// sees no trailing bytes, and a budget-aware peer parsing a
+		// pre-budget frame finds no second blob — both directions
+		// interoperate without a version bump.
+		if len(m.Budget) > 0 {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Budget)))
+			buf = append(buf, m.Budget...)
+		}
 	}
 	return buf
 }
@@ -201,11 +211,25 @@ func parseCtrl(b []byte) (ctrlMsg, error) {
 		}
 		n := int(binary.BigEndian.Uint32(b))
 		b = b[4:]
-		if n > maxStatsBlob || len(b) != n {
+		if n > maxStatsBlob || len(b) < n {
 			return m, fmt.Errorf("%w: blob length %d with %d bytes", ErrCtrlMalformed, n, len(b))
 		}
-		m.Blob = append([]byte(nil), b...)
-		b = nil
+		m.Blob = append([]byte(nil), b[:n]...)
+		b = b[n:]
+		// Optional second blob: the budget fact set. Absent bytes mean no
+		// facts (old peer); present bytes must frame exactly.
+		if len(b) > 0 {
+			if len(b) < 4 {
+				return m, fmt.Errorf("%w: truncated budget blob header", ErrCtrlMalformed)
+			}
+			bn := int(binary.BigEndian.Uint32(b))
+			b = b[4:]
+			if bn > maxStatsBlob || len(b) != bn {
+				return m, fmt.Errorf("%w: budget blob length %d with %d bytes", ErrCtrlMalformed, bn, len(b))
+			}
+			m.Budget = append([]byte(nil), b...)
+			b = nil
+		}
 	}
 	if len(b) != 0 {
 		return m, fmt.Errorf("%w: %d trailing bytes", ErrCtrlMalformed, len(b))

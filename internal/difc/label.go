@@ -214,6 +214,17 @@ func (l Label) Tags() []Tag {
 	return out
 }
 
+// Each calls fn for every tag in ascending order, stopping early when fn
+// returns false. It is the allocation-free alternative to Tags() for hot
+// paths that only need to walk the set (ISSUE 10's budget charging).
+func (l Label) Each(fn func(Tag) bool) {
+	for _, t := range l.view() {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
 // SubsetOf reports whether every tag in l is also in other (l ⊆ other).
 // The signature word rejects most non-subsets in one AND-NOT; surviving
 // inline×inline pairs are resolved by a short merge walk that is cheaper

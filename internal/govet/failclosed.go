@@ -21,7 +21,8 @@ var FailClosed = &Analyzer{
 		p := filepath.ToSlash(path)
 		return strings.Contains(p, "internal/kernel/lsm/") ||
 			strings.Contains(p, "internal/netlabel/") ||
-			strings.Contains(p, "internal/cluster/")
+			strings.Contains(p, "internal/cluster/") ||
+			strings.Contains(p, "internal/budget/")
 	},
 	Run: runFailClosed,
 }

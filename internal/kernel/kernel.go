@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"laminar/internal/budget"
 	"laminar/internal/difc"
 	"laminar/internal/faultinject"
 	"laminar/internal/telemetry"
@@ -66,6 +67,13 @@ type Kernel struct {
 	// forwards it to the security module when the module supports
 	// epoch-keyed verdict memoization (VerdictCacheConfigurator).
 	verdictCache bool
+
+	// budget is the optional quantitative flow-budget ledger (ISSUE 10).
+	// nil means unbudgeted: every declassification egress is unmetered,
+	// the pre-budget behavior. Non-nil, the three egress layers (lsm
+	// relabels, netlabel sends, rt region exits) charge it before their
+	// side effects.
+	budget *budget.Ledger
 }
 
 // Option configures kernel construction.
@@ -109,6 +117,18 @@ func WithVerdictCache() Option {
 
 // VerdictCacheEnabled reports whether WithVerdictCache was requested.
 func (k *Kernel) VerdictCacheEnabled() bool { return k.verdictCache }
+
+// WithBudget installs the flow-budget ledger. New registers the ledger's
+// mutation callback to bump every task's label epoch, so the PR 7
+// verdict cache can never serve an allow computed before an exhaustion,
+// limit drop, or quarantine.
+func WithBudget(l *budget.Ledger) Option {
+	return func(k *Kernel) { k.budget = l }
+}
+
+// Budget returns the installed ledger, or nil when the kernel runs
+// unbudgeted.
+func (k *Kernel) Budget() *budget.Ledger { return k.budget }
 
 // hook counts one security-hook invocation.
 func (k *Kernel) hook() { k.hookCalls.Add(1) }
@@ -191,6 +211,17 @@ func New(opts ...Option) *Kernel {
 		if c, ok := k.rawSec.(VerdictCacheConfigurator); ok {
 			c.EnableVerdictCache()
 		}
+	}
+	if k.budget != nil {
+		// A budget mutation can turn a cached allow stale (an exhausted
+		// tag must stop flowing NOW, not at the next natural epoch bump),
+		// so every mutation invalidates all task verdict-cache epochs.
+		// The callback runs outside the ledger mutex; taskRange takes
+		// only shard read-locks and per-task atomics, so the order is
+		// cycle-free against charge sites that hold task locks.
+		k.budget.OnMutate(func() {
+			k.taskRange(func(t *Task) { t.BumpLabelEpoch() })
+		})
 	}
 	wrapFaulting(k)
 	wrapTelemetry(k) // outermost: provenance sees fault-injected denials too

@@ -505,6 +505,28 @@ func (m *Module) AllocTag(t *kernel.Task) (difc.Tag, error) {
 	return tag, nil
 }
 
+// chargeDeclass meters capability-based declassification (ISSUE 10):
+// each secrecy tag the relabel sheds spends one unit of its
+// local-context budget (peer 0) BEFORE the label mutation commits.
+// Exhaustion (or a ledger persist failure — fail closed) surfaces as the
+// same ErrPerm-wrapped secrecy FlowError a missing minus capability
+// produces, with the budget's own LayerBudget provenance emitted beside
+// the kernel's LayerLSM event so explain-denial can name the real cause.
+// A kernel without a ledger charges nothing.
+func (m *Module) chargeDeclass(t *kernel.Task, site, op string, dropped difc.Label) error {
+	led := t.Kernel().Budget()
+	if led == nil || dropped.IsEmpty() {
+		return nil
+	}
+	if err := led.ChargeLabel(op, dropped, 0, 1); err != nil {
+		if m.tel != nil && m.tel.Active() {
+			m.tel.EmitDeny(telemetry.LayerBudget, site, op, uint64(t.TID), t.Proc, err)
+		}
+		return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
+	}
+	return nil
+}
+
 // SetTaskLabel changes one of the caller's labels under the label-change
 // rule. Laminar requires explicit label changes (§3.2): there is no
 // implicit taint propagation.
@@ -527,6 +549,16 @@ func (m *Module) SetTaskLabel(t *kernel.Task, typ kernel.LabelType, l difc.Label
 	}
 	if err := difc.CheckChange("set_task_label", cur, l, s.caps); err != nil {
 		return fmt.Errorf("%w: %w", kernel.ErrPerm, err)
+	}
+	// Dropping a secrecy tag is declassification: meter it AFTER the
+	// capability check passes (an uncapable caller must see the exact
+	// pre-budget denial) and BEFORE the label mutates, so an exhausted
+	// budget denies with no partial state change. The ledger nil-check
+	// comes first so unbudgeted kernels skip the Minus entirely.
+	if typ == kernel.Secrecy && t.Kernel().Budget() != nil {
+		if err := m.chargeDeclass(t, "lsm.SetTaskLabel", "set_task_label", cur.Minus(l)); err != nil {
+			return err
+		}
 	}
 	// Task labels are the hottest SubsetOf operand (every permission hook
 	// compares them against object labels), so intern on the way in.
@@ -552,6 +584,11 @@ func (m *Module) DropLabelTCB(t, target *kernel.Task) error {
 		return fmt.Errorf("%w: drop_label_tcb outside caller's process", kernel.ErrPerm)
 	}
 	tgt := m.taskState(target)
+	// The TCB drop declassifies every secrecy tag the target carries;
+	// charge them all before the clear commits.
+	if err := m.chargeDeclass(t, "lsm.DropLabelTCB", "drop_label_tcb", tgt.labels.S); err != nil {
+		return err
+	}
 	tgt.labels = difc.Labels{}
 	target.BumpLabelEpoch()
 	return nil
@@ -563,6 +600,11 @@ func (m *Module) DropLabelTCB(t, target *kernel.Task) error {
 // needs the general form to restore a thread to the labels of the parent
 // security region on nested-region exit, where the thread may hold neither
 // the plus nor minus capabilities for the tags involved (§4.4).
+//
+// SetLabelTCB is deliberately NOT budget-charged: its only caller is the
+// trusted VM's region-exit restore (rt.trySync), and the region exit
+// itself is the commit point the runtime charges (rt/thread.go). Charging
+// here too would double-bill every nested-region exit.
 func (m *Module) SetLabelTCB(t, target *kernel.Task, labels difc.Labels) error {
 	ts := m.taskState(t)
 	if !ts.labels.I.Has(m.tcbTag) {
@@ -579,6 +621,10 @@ func (m *Module) SetLabelTCB(t, target *kernel.Task, labels difc.Labels) error {
 // DropCapabilities removes the listed capabilities. tmp suspends them
 // (restorable); otherwise the drop is permanent, including any suspended
 // copy, which implements removeCapability(global=true).
+//
+// Not budget-charged: shedding a capability loses no protection — it
+// strictly narrows what the task can later declassify. The budget meters
+// tags leaving secrecy labels, not capability churn.
 func (m *Module) DropCapabilities(t *kernel.Task, caps []kernel.Capability, tmp bool) error {
 	s := m.taskState(t)
 	for _, c := range caps {

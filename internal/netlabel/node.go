@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"laminar/internal/budget"
 	"laminar/internal/difc"
 	"laminar/internal/faultinject"
 	"laminar/internal/kernel"
@@ -576,6 +577,18 @@ func (n *Node) Pump() int {
 			if len(data) == 0 {
 				break
 			}
+			// Budget charge (ISSUE 10): every secrecy tag on the channel
+			// spends against this peer BEFORE the frame is queued — the
+			// charge strictly precedes the transport effect, so a denied
+			// or crash-torn charge leaves no frame to leak. Exhaustion
+			// drops the chunk silently: the bytes were already drained
+			// from the endpoint, which is exactly what a full queue or a
+			// lossy link does to them (§5.2) — the sender, who observed
+			// success at Send, learns nothing new.
+			if err := n.chargeSend(ch, len(data)); err != nil {
+				n.count("net.budget.dropped", 1)
+				continue
+			}
 			ch.conn.enqueue(AppendFrame(nil, Frame{Version: Version, Type: FrameData,
 				Channel: ch.id, Payload: data}))
 			work++
@@ -789,6 +802,26 @@ func (n *Node) Close() {
 // deny records transport-layer provenance (LayerNet): handshake
 // rejections, malformed frames, dead links. Policy denials never come
 // through here — they are emitted by the kernels' own hook wrappers.
+// chargeSend meters one drained chunk against the flow budget: each
+// secrecy tag on the channel spends ceil(len/1KiB) units (min 1) keyed
+// to the receiving peer's node id. A nil ledger or an unlabeled channel
+// charges nothing. The denial carries LayerBudget provenance; the caller
+// implements the silent drop.
+func (n *Node) chargeSend(ch *channel, size int) error {
+	led := n.cfg.Kernel.Budget()
+	if led == nil || ch.labels.S.IsEmpty() {
+		return nil
+	}
+	cost := budget.CostBytes(size)
+	if err := led.ChargeLabel("send", ch.labels.S, ch.conn.peerID, cost); err != nil {
+		if n.rec != nil && n.rec.Active() {
+			n.rec.EmitDeny(telemetry.LayerBudget, "netd.send.budget", "send", 0, 0, err)
+		}
+		return err
+	}
+	return nil
+}
+
 func (n *Node) deny(site, op string, err error) {
 	if n.rec == nil || !n.rec.Active() {
 		return

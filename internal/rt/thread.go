@@ -5,6 +5,7 @@ import (
 
 	"laminar/internal/difc"
 	"laminar/internal/kernel"
+	"laminar/internal/telemetry"
 )
 
 // Thread is a VM-level principal: a kernel task plus the VM's cached view
@@ -213,6 +214,28 @@ func (t *Thread) Secure(labels difc.Labels, caps difc.CapSet, body func(*Region)
 		// tcb path handles tags the thread cannot drop itself.
 		syncedInRegion := t.kernelSynced
 		t.region = r.parent
+		// Budget charge (ISSUE 10): leaving the region is THE commit
+		// point where every secrecy tag the region held and the parent
+		// context lacks stops protecting the thread's effects — the
+		// declassification the paper's nested-declassify pattern
+		// (Figure 7) builds on. Charge each such tag one unit (local
+		// context, peer 0) BEFORE the label restore runs; the restore
+		// itself (SetLabelTCB via trySync) is deliberately uncharged so
+		// the exit bills once. Exhaustion fails closed exactly like a
+		// failed restore: the thread cannot legally exist outside the
+		// region, so it dies here.
+		if led := t.vm.k.Budget(); led != nil {
+			if dropped := r.labels.S.Minus(t.Labels().S); !dropped.IsEmpty() {
+				if err := led.ChargeLabel("region_exit", dropped, 0, 1); err != nil {
+					if rec := t.vm.k.Telemetry(); rec != nil && rec.Active() {
+						rec.EmitDeny(telemetry.LayerBudget, "rt.Secure.exit", "region_exit",
+							uint64(t.task.TID), t.task.Proc, err)
+					}
+					t.vm.emit(Event{Kind: EvViolation, Thread: uint64(t.task.TID), Labels: labels, Err: err})
+					t.vm.k.Exit(t.task)
+				}
+			}
+		}
 		if syncedInRegion || t.vm.EagerSync {
 			t.kernelSynced = false
 			if err := t.trySync(); err != nil {

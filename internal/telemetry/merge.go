@@ -51,21 +51,32 @@ func MergeSnapshots(nodes []NodeSnapshot) ClusterSnapshot {
 	return cs
 }
 
+// satAddU64 is saturating addition. Merged cluster counters and bucket
+// sums clamp at MaxUint64 instead of wrapping: a wrapped sum reads as a
+// tiny count, which silently un-exhausts a merged budget fact and
+// corrupts merged p99s (ISSUE 10).
+func satAddU64(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return ^uint64(0)
+}
+
 // mergeInto adds one snapshot's counts into the accumulator.
 func mergeInto(dst *MetricsSnapshot, s MetricsSnapshot) {
-	dst.Events += s.Events
-	dst.Denials += s.Denials
-	dst.Allows += s.Allows
-	dst.FaultTrips += s.FaultTrips
-	dst.LockContention += s.LockContention
-	dst.FlowCacheHits += s.FlowCacheHits
-	dst.FlowCacheMisses += s.FlowCacheMisses
-	dst.FlowCacheEvictions += s.FlowCacheEvictions
-	dst.InternHits += s.InternHits
-	dst.InternMisses += s.InternMisses
-	dst.VerdictCacheHits += s.VerdictCacheHits
-	dst.VerdictCacheMisses += s.VerdictCacheMisses
-	dst.VerdictCacheInvalidations += s.VerdictCacheInvalidations
+	dst.Events = satAddU64(dst.Events, s.Events)
+	dst.Denials = satAddU64(dst.Denials, s.Denials)
+	dst.Allows = satAddU64(dst.Allows, s.Allows)
+	dst.FaultTrips = satAddU64(dst.FaultTrips, s.FaultTrips)
+	dst.LockContention = satAddU64(dst.LockContention, s.LockContention)
+	dst.FlowCacheHits = satAddU64(dst.FlowCacheHits, s.FlowCacheHits)
+	dst.FlowCacheMisses = satAddU64(dst.FlowCacheMisses, s.FlowCacheMisses)
+	dst.FlowCacheEvictions = satAddU64(dst.FlowCacheEvictions, s.FlowCacheEvictions)
+	dst.InternHits = satAddU64(dst.InternHits, s.InternHits)
+	dst.InternMisses = satAddU64(dst.InternMisses, s.InternMisses)
+	dst.VerdictCacheHits = satAddU64(dst.VerdictCacheHits, s.VerdictCacheHits)
+	dst.VerdictCacheMisses = satAddU64(dst.VerdictCacheMisses, s.VerdictCacheMisses)
+	dst.VerdictCacheInvalidations = satAddU64(dst.VerdictCacheInvalidations, s.VerdictCacheInvalidations)
 	dst.DenialsByRule = mergeMap(dst.DenialsByRule, s.DenialsByRule)
 	dst.Hooks = mergeMap(dst.Hooks, s.Hooks)
 	dst.Extra = mergeMap(dst.Extra, s.Extra)
@@ -86,7 +97,7 @@ func mergeMap(dst, src map[string]uint64) map[string]uint64 {
 		dst = map[string]uint64{}
 	}
 	for k, v := range src {
-		dst[k] += v
+		dst[k] = satAddU64(dst[k], v)
 	}
 	return dst
 }
@@ -105,7 +116,7 @@ func MergeHistograms(a, b []HistBucket) []HistBucket {
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i].UpperNS == b[j].UpperNS:
-			out = append(out, HistBucket{UpperNS: a[i].UpperNS, Count: a[i].Count + b[j].Count})
+			out = append(out, HistBucket{UpperNS: a[i].UpperNS, Count: satAddU64(a[i].Count, b[j].Count)})
 			i++
 			j++
 		case a[i].UpperNS < b[j].UpperNS:
@@ -124,13 +135,26 @@ func MergeHistograms(a, b []HistBucket) []HistBucket {
 // HistQuantile estimates the q-quantile (0 < q ≤ 1) of a bucket list as
 // the upper bound of the bucket the quantile falls in. Log2 buckets make
 // this an order-of-magnitude estimate, which is what the SLO gates need.
+//
+// Edge cases are pinned by telemetry/merge_test.go: an empty or
+// all-zero-count list returns ok=false; q ≥ 1 returns the upper bound of
+// the LAST NON-EMPTY bucket (never an empty trailing bucket, never an
+// out-of-range index); the running totals saturate so a merged list
+// whose counts sum past MaxUint64 still picks a real bucket.
 func HistQuantile(buckets []HistBucket, q float64) (uint64, bool) {
 	var total uint64
-	for _, b := range buckets {
-		total += b.Count
+	lastNonEmpty := -1
+	for i, b := range buckets {
+		total = satAddU64(total, b.Count)
+		if b.Count > 0 {
+			lastNonEmpty = i
+		}
 	}
 	if total == 0 {
 		return 0, false
+	}
+	if q >= 1 {
+		return buckets[lastNonEmpty].UpperNS, true
 	}
 	want := uint64(q * float64(total))
 	if want >= total {
@@ -138,12 +162,12 @@ func HistQuantile(buckets []HistBucket, q float64) (uint64, bool) {
 	}
 	var cum uint64
 	for _, b := range buckets {
-		cum += b.Count
+		cum = satAddU64(cum, b.Count)
 		if cum > want {
 			return b.UpperNS, true
 		}
 	}
-	return buckets[len(buckets)-1].UpperNS, true
+	return buckets[lastNonEmpty].UpperNS, true
 }
 
 // WritePrometheus renders the cluster view: per-node liveness/staleness

@@ -139,7 +139,7 @@ type Metrics struct {
 	// monitors: one histogram per Layer (hook dispatch for LSM, frame
 	// apply for Net, control handling for Cluster, ...), the raw data
 	// behind cluster-wide per-layer p99 SLOs.
-	LayerLatency [LayerCluster + 1]Histogram
+	LayerLatency [LayerBudget + 1]Histogram
 }
 
 // ObserveLayer records one duration against a layer's latency histogram.

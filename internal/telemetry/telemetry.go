@@ -78,6 +78,7 @@ const (
 	LayerJVM                  // the MiniJVM substrate
 	LayerNet                  // the cross-kernel labeled transport (netlabel)
 	LayerCluster              // the cluster label plane (membership, epochs, changes)
+	LayerBudget               // the quantitative flow-budget ledger (internal/budget)
 )
 
 // String names the layer.
@@ -95,6 +96,8 @@ func (l Layer) String() string {
 		return "net"
 	case LayerCluster:
 		return "cluster"
+	case LayerBudget:
+		return "budget"
 	default:
 		return "unknown"
 	}
@@ -113,6 +116,8 @@ func layerFromString(s string) Layer {
 		return LayerNet
 	case "cluster":
 		return LayerCluster
+	case "budget":
+		return LayerBudget
 	default:
 		return LayerKernel
 	}
